@@ -1,0 +1,55 @@
+"""Experiment E5 (ablation) -- refinement effort of the approximate flow.
+
+Section 4.3: the approximated covers are refined only when the on- and
+off-set approximations intersect.  This ablation records, per benchmark, how
+many cover parts had to be refined and how many refinement rounds ran, and
+checks the headline property that refinement never has to fall back to a CSC
+report on the CSC-compliant suite.
+"""
+
+import pytest
+
+from repro.stg import benchmark_by_name, muller_pipeline, table1_suite
+from repro.synthesis import synthesize_approx_from_unfolding
+
+CASES = ["nowick", "forever_ordered", "nak-pa", "ram-read-sbuf", "sbuf-ram-write"]
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_refinement_effort(benchmark, name):
+    stg = benchmark_by_name(name).build()
+    result = benchmark.pedantic(
+        lambda: synthesize_approx_from_unfolding(stg), rounds=1, iterations=1
+    )
+    assert not result.implementation.has_csc_conflict
+    # Refinement statistics are finite and bounded by the number of parts.
+    total_parts = sum(
+        len(c.on_parts) + len(c.off_parts) for c in result.signal_covers.values()
+    )
+    assert result.total_parts_refined <= total_parts
+
+
+def test_refinement_statistics_summary(capsys):
+    rows = []
+    for name in CASES + ["sendr-done", "rcv-setup"]:
+        stg = benchmark_by_name(name).build()
+        result = synthesize_approx_from_unfolding(stg)
+        rows.append(
+            (name, result.total_refinement_rounds, result.total_parts_refined,
+             result.implementation.total_literals)
+        )
+    with capsys.disabled():
+        print()
+        print("benchmark            rounds  parts_refined  literals")
+        for name, rounds, parts, literals in rows:
+            print("%-20s %6d  %13d  %8d" % (name, rounds, parts, literals))
+    assert all(literals > 0 for *_rest, literals in rows)
+
+
+def test_sequential_controllers_need_no_refinement(benchmark):
+    """With no concurrency the initial approximation is already exact."""
+    stg = benchmark_by_name("sendr-done").build()
+    result = benchmark.pedantic(
+        lambda: synthesize_approx_from_unfolding(stg), rounds=1, iterations=1
+    )
+    assert result.total_parts_refined == 0

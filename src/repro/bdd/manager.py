@@ -1,0 +1,257 @@
+"""A small Reduced Ordered Binary Decision Diagram (ROBDD) package.
+
+Petrify, the strongest baseline in the paper's comparison, represents the
+State Graph symbolically with BDDs.  This package provides the symbolic
+substrate for our "Petrify-like" baseline: a hash-consed ROBDD manager with
+the classic ``ite`` (if-then-else) core, Boolean connectives, existential
+quantification and satisfying-assignment enumeration.
+
+The implementation follows Bryant's original formulation: nodes are
+``(level, low, high)`` triples, terminals are ``0`` and ``1``, and every
+operation is memoised on node identity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["BDD"]
+
+
+class BDD:
+    """A BDD manager over a fixed, ordered set of variables."""
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self, variables: Sequence[str]) -> None:
+        if len(set(variables)) != len(variables):
+            raise ValueError("duplicate variable names in BDD ordering")
+        self.variables: List[str] = list(variables)
+        self._level: Dict[str, int] = {name: i for i, name in enumerate(variables)}
+        # Node storage: node id -> (level, low, high).  Ids 0/1 are terminals.
+        self._nodes: List[Tuple[int, int, int]] = [(-1, 0, 0), (-1, 1, 1)]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._var_nodes: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Node management
+    # ------------------------------------------------------------------ #
+    def _make_node(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def var(self, name: str) -> int:
+        """BDD for a single positive literal."""
+        node = self._var_nodes.get(name)
+        if node is None:
+            level = self._level[name]
+            node = self._make_node(level, self.FALSE, self.TRUE)
+            self._var_nodes[name] = node
+        return node
+
+    def nvar(self, name: str) -> int:
+        """BDD for a single negative literal."""
+        return self.negate(self.var(name))
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of allocated nodes (including terminals)."""
+        return len(self._nodes)
+
+    def _level_of(self, node: int) -> int:
+        if node in (self.FALSE, self.TRUE):
+            return len(self.variables)
+        return self._nodes[node][0]
+
+    def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
+        if node in (self.FALSE, self.TRUE):
+            return node, node
+        node_level, low, high = self._nodes[node]
+        if node_level == level:
+            return low, high
+        return node, node
+
+    # ------------------------------------------------------------------ #
+    # Core: if-then-else
+    # ------------------------------------------------------------------ #
+    def ite(self, f: int, g: int, h: int) -> int:
+        """``if f then g else h`` -- the universal BDD operation."""
+        if f == self.TRUE:
+            return g
+        if f == self.FALSE:
+            return h
+        if g == h:
+            return g
+        if g == self.TRUE and h == self.FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level_of(f), self._level_of(g), self._level_of(h))
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        h0, h1 = self._cofactors(h, level)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._make_node(level, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Boolean connectives
+    # ------------------------------------------------------------------ #
+    def conj(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.FALSE)
+
+    def disj(self, f: int, g: int) -> int:
+        return self.ite(f, self.TRUE, g)
+
+    def negate(self, f: int) -> int:
+        return self.ite(f, self.FALSE, self.TRUE)
+
+    def xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.negate(g), g)
+
+    def implies(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.TRUE)
+
+    def conj_all(self, items: Iterable[int]) -> int:
+        result = self.TRUE
+        for item in items:
+            result = self.conj(result, item)
+            if result == self.FALSE:
+                break
+        return result
+
+    def disj_all(self, items: Iterable[int]) -> int:
+        result = self.FALSE
+        for item in items:
+            result = self.disj(result, item)
+            if result == self.TRUE:
+                break
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Restriction and quantification
+    # ------------------------------------------------------------------ #
+    def restrict(self, f: int, name: str, value: bool) -> int:
+        """Cofactor of ``f`` with respect to ``name = value``."""
+        level = self._level[name]
+        cache: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node in (self.FALSE, self.TRUE):
+                return node
+            cached = cache.get(node)
+            if cached is not None:
+                return cached
+            node_level, low, high = self._nodes[node]
+            if node_level > level:
+                result = node
+            elif node_level == level:
+                result = high if value else low
+            else:
+                result = self._make_node(node_level, walk(low), walk(high))
+            cache[node] = result
+            return result
+
+        return walk(f)
+
+    def exists(self, f: int, names: Iterable[str]) -> int:
+        """Existentially quantify the given variables out of ``f``."""
+        result = f
+        for name in names:
+            low = self.restrict(result, name, False)
+            high = self.restrict(result, name, True)
+            result = self.disj(low, high)
+        return result
+
+    def forall(self, f: int, names: Iterable[str]) -> int:
+        """Universally quantify the given variables out of ``f``."""
+        result = f
+        for name in names:
+            low = self.restrict(result, name, False)
+            high = self.restrict(result, name, True)
+            result = self.conj(low, high)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Model counting / enumeration
+    # ------------------------------------------------------------------ #
+    def count_solutions(self, f: int) -> int:
+        """Number of satisfying assignments over all declared variables."""
+        cache: Dict[int, int] = {}
+        total_vars = len(self.variables)
+
+        def walk(node: int) -> Tuple[int, int]:
+            """Return (count, level) where count is over vars below level."""
+            if node == self.FALSE:
+                return 0, total_vars
+            if node == self.TRUE:
+                return 1, total_vars
+            if node in cache:
+                return cache[node], self._nodes[node][0]
+            level, low, high = self._nodes[node]
+            low_count, low_level = walk(low)
+            high_count, high_level = walk(high)
+            count = low_count * (1 << (low_level - level - 1)) + high_count * (
+                1 << (high_level - level - 1)
+            )
+            cache[node] = count
+            return count, level
+
+        count, level = walk(f)
+        return count * (1 << level)
+
+    def satisfying_assignments(self, f: int) -> Iterator[Dict[str, bool]]:
+        """Enumerate complete satisfying assignments of ``f``."""
+        total_vars = len(self.variables)
+
+        def walk(node: int, level: int, partial: Dict[str, bool]) -> Iterator[Dict[str, bool]]:
+            if node == self.FALSE:
+                return
+            if level == total_vars:
+                yield dict(partial)
+                return
+            name = self.variables[level]
+            node_level = self._level_of(node)
+            if node_level > level:
+                for value in (False, True):
+                    partial[name] = value
+                    yield from walk(node, level + 1, partial)
+                del partial[name]
+            else:
+                _lvl, low, high = self._nodes[node]
+                partial[name] = False
+                yield from walk(low, level + 1, partial)
+                partial[name] = True
+                yield from walk(high, level + 1, partial)
+                del partial[name]
+
+        yield from walk(f, 0, {})
+
+    def evaluate(self, f: int, assignment: Dict[str, bool]) -> bool:
+        """Evaluate ``f`` under a complete variable assignment."""
+        node = f
+        while node not in (self.FALSE, self.TRUE):
+            level, low, high = self._nodes[node]
+            node = high if assignment[self.variables[level]] else low
+        return node == self.TRUE
+
+    def cube(self, assignment: Dict[str, bool]) -> int:
+        """BDD of a conjunction of literals."""
+        result = self.TRUE
+        for name, value in assignment.items():
+            literal = self.var(name) if value else self.nvar(name)
+            result = self.conj(result, literal)
+        return result

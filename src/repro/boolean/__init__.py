@@ -1,0 +1,21 @@
+"""Boolean cube/cover algebra and two-level minimisation.
+
+This package is the logic substrate of the synthesis flow: covers represent
+on-/off-/don't-care sets and gate implementations, and the minimiser plays the
+role Espresso plays in the paper's tool chain.
+"""
+
+from .cube import Cube, CubeError
+from .cover import Cover
+from .function import BooleanFunction
+from .minimize import MinimizationResult, espresso, quine_mccluskey
+
+__all__ = [
+    "Cube",
+    "CubeError",
+    "Cover",
+    "BooleanFunction",
+    "MinimizationResult",
+    "espresso",
+    "quine_mccluskey",
+]

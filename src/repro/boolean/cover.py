@@ -1,0 +1,381 @@
+"""Covers: sums of cubes representing Boolean functions.
+
+A :class:`Cover` is an ordered collection of :class:`~repro.boolean.cube.Cube`
+objects over the same variable space, interpreted as a sum-of-products.  The
+synthesis flow uses covers for
+
+* the on-set / off-set / don't-care set of every output signal,
+* excitation-region and marked-region approximations derived from the
+  STG-unfolding segment, and
+* the final gate implementations whose literal counts are reported.
+
+Besides the usual set algebra (union, intersection, sharp, complement) the
+class provides tautology checking and single-cube containment, both via the
+standard unate-recursive paradigm, which are the primitives required by the
+Espresso-style minimiser in :mod:`repro.boolean.minimize`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .cube import Cube, CubeError
+
+__all__ = ["Cover"]
+
+
+class Cover:
+    """A sum of cubes over a fixed Boolean space.
+
+    Parameters
+    ----------
+    nvars:
+        Number of variables of the Boolean space.
+    cubes:
+        Iterable of cubes; all must live in the same space.
+    """
+
+    __slots__ = ("nvars", "_cubes")
+
+    def __init__(self, nvars: int, cubes: Iterable[Cube] = ()) -> None:
+        self.nvars = nvars
+        self._cubes: List[Cube] = []
+        for cube in cubes:
+            self._append_checked(cube)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, nvars: int) -> "Cover":
+        """The cover of the constant-0 function."""
+        return cls(nvars)
+
+    @classmethod
+    def universe(cls, nvars: int) -> "Cover":
+        """The cover of the constant-1 function (one universal cube)."""
+        return cls(nvars, [Cube.full(nvars)])
+
+    @classmethod
+    def from_strings(cls, rows: Sequence[str]) -> "Cover":
+        """Build a cover from positional-cube strings (``"1-0"``, ...)."""
+        if not rows:
+            raise CubeError("cannot infer variable count from an empty row list")
+        cubes = [Cube.from_string(row) for row in rows]
+        nvars = cubes[0].nvars
+        return cls(nvars, cubes)
+
+    @classmethod
+    def from_minterms(cls, nvars: int, minterms: Iterable[int]) -> "Cover":
+        """Build a cover with one cube per minterm."""
+        return cls(nvars, [Cube.from_minterm(nvars, m) for m in minterms])
+
+    def copy(self) -> "Cover":
+        """Return a shallow copy (cubes are immutable, so this is safe)."""
+        return Cover(self.nvars, self._cubes)
+
+    # ------------------------------------------------------------------ #
+    # Basic container protocol
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self._cubes)
+
+    def __len__(self) -> int:
+        return len(self._cubes)
+
+    def __getitem__(self, index: int) -> Cube:
+        return self._cubes[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._cubes)
+
+    @property
+    def cubes(self) -> Tuple[Cube, ...]:
+        """The cubes of the cover as an immutable tuple."""
+        return tuple(self._cubes)
+
+    def add(self, cube: Cube) -> None:
+        """Append a cube (duplicates are silently skipped)."""
+        if cube in self._cubes:
+            return
+        self._append_checked(cube)
+
+    def extend(self, cubes: Iterable[Cube]) -> None:
+        """Append several cubes, skipping duplicates."""
+        for cube in cubes:
+            self.add(cube)
+
+    def is_empty(self) -> bool:
+        """Return True if the cover has no cubes (the constant-0 function)."""
+        return not self._cubes
+
+    # ------------------------------------------------------------------ #
+    # Semantics
+    # ------------------------------------------------------------------ #
+    def evaluate(self, assignment: Sequence[int]) -> bool:
+        """Evaluate the cover on a 0/1 assignment vector."""
+        return any(cube.covers_assignment(assignment) for cube in self._cubes)
+
+    def covers_minterm(self, minterm: int) -> bool:
+        """Return True if any cube covers the given minterm."""
+        return any(cube.covers_minterm(minterm) for cube in self._cubes)
+
+    def minterms(self) -> Set[int]:
+        """Enumerate the set of covered minterms (exponential; small spaces only)."""
+        result: Set[int] = set()
+        for cube in self._cubes:
+            result.update(cube.minterms())
+        return result
+
+    @property
+    def literal_count(self) -> int:
+        """Total number of literals -- the quality metric used in Table 1."""
+        return sum(cube.num_literals for cube in self._cubes)
+
+    # ------------------------------------------------------------------ #
+    # Set algebra
+    # ------------------------------------------------------------------ #
+    def union(self, other: "Cover") -> "Cover":
+        """Return the sum of the two covers."""
+        self._check_compatible(other)
+        result = self.copy()
+        result.extend(other)
+        return result
+
+    def __or__(self, other: "Cover") -> "Cover":
+        return self.union(other)
+
+    def intersect(self, other: "Cover") -> "Cover":
+        """Return the product of the two covers (pairwise cube intersection)."""
+        self._check_compatible(other)
+        cubes: List[Cube] = []
+        for left in self._cubes:
+            for right in other._cubes:
+                product = left.intersect(right)
+                if product is not None and product not in cubes:
+                    cubes.append(product)
+        return Cover(self.nvars, cubes)
+
+    def __and__(self, other: "Cover") -> "Cover":
+        return self.intersect(other)
+
+    def intersects(self, other: "Cover") -> bool:
+        """Return True if the two covers share at least one minterm."""
+        self._check_compatible(other)
+        for left in self._cubes:
+            for right in other._cubes:
+                if left.intersects(right):
+                    return True
+        return False
+
+    def intersect_cube(self, cube: Cube) -> "Cover":
+        """Return the cover restricted to the given cube."""
+        cubes: List[Cube] = []
+        for own in self._cubes:
+            product = own.intersect(cube)
+            if product is not None and product not in cubes:
+                cubes.append(product)
+        return Cover(self.nvars, cubes)
+
+    def cofactor(self, cube: Cube) -> "Cover":
+        """Generalised Shannon cofactor of the cover with respect to a cube."""
+        cubes: List[Cube] = []
+        for own in self._cubes:
+            if own.distance(cube) > 0:
+                continue
+            ones = own.ones & ~(cube.ones | cube.zeros)
+            zeros = own.zeros & ~(cube.ones | cube.zeros)
+            reduced = Cube(self.nvars, ones, zeros)
+            if reduced not in cubes:
+                cubes.append(reduced)
+        return Cover(self.nvars, cubes)
+
+    def sharp(self, cube: Cube) -> "Cover":
+        """Return the cover minus a cube (the *sharp* operation)."""
+        cubes: List[Cube] = []
+        for own in self._cubes:
+            if not own.intersects(cube):
+                if own not in cubes:
+                    cubes.append(own)
+                continue
+            # own \ cube: expand the complement of the cube inside own.
+            remainder = own
+            for var, value in cube.literals():
+                piece = remainder.cofactor(var, 1 - value)
+                if piece is not None:
+                    piece = piece.with_literal(var, 1 - value)
+                    if piece not in cubes:
+                        cubes.append(piece)
+                next_remainder = remainder.cofactor(var, value)
+                if next_remainder is None:
+                    remainder = None
+                    break
+                remainder = next_remainder.with_literal(var, value)
+        return Cover(self.nvars, cubes)
+
+    def difference(self, other: "Cover") -> "Cover":
+        """Return this cover minus another cover."""
+        self._check_compatible(other)
+        result = self.copy()
+        for cube in other:
+            result = result.sharp(cube)
+        return result
+
+    def complement(self) -> "Cover":
+        """Return a cover of the complement function.
+
+        Uses recursive Shannon expansion on the most-bound variable, which is
+        efficient enough for the signal counts of asynchronous controller
+        benchmarks (tens of variables).
+        """
+        return Cover(self.nvars, _complement_rec(self, Cube.full(self.nvars)))
+
+    # ------------------------------------------------------------------ #
+    # Tautology / containment
+    # ------------------------------------------------------------------ #
+    def is_tautology(self) -> bool:
+        """Return True if the cover evaluates to 1 for every assignment."""
+        return _tautology_rec(self)
+
+    def contains_cube(self, cube: Cube) -> bool:
+        """Return True if the cover covers every minterm of the cube."""
+        return self.cofactor(cube).is_tautology()
+
+    def contains_cover(self, other: "Cover") -> bool:
+        """Return True if every cube of ``other`` is contained in this cover."""
+        self._check_compatible(other)
+        return all(self.contains_cube(cube) for cube in other)
+
+    def equivalent(self, other: "Cover") -> bool:
+        """Return True if both covers denote the same Boolean function."""
+        return self.contains_cover(other) and other.contains_cover(self)
+
+    # ------------------------------------------------------------------ #
+    # Normalisation
+    # ------------------------------------------------------------------ #
+    def single_cube_containment(self) -> "Cover":
+        """Drop cubes contained in a single other cube of the cover."""
+        kept: List[Cube] = []
+        cubes = sorted(self._cubes, key=lambda c: c.num_literals)
+        for cube in cubes:
+            if any(other.contains(cube) for other in kept):
+                continue
+            kept.append(cube)
+        return Cover(self.nvars, kept)
+
+    def irredundant(self, dc: Optional["Cover"] = None) -> "Cover":
+        """Remove cubes covered by the rest of the cover plus the DC-set."""
+        cubes = list(self.single_cube_containment())
+        index = 0
+        while index < len(cubes):
+            rest = Cover(self.nvars, cubes[:index] + cubes[index + 1:])
+            if dc is not None:
+                rest = rest.union(dc)
+            if rest.contains_cube(cubes[index]):
+                cubes.pop(index)
+            else:
+                index += 1
+        return Cover(self.nvars, cubes)
+
+    # ------------------------------------------------------------------ #
+    # Presentation
+    # ------------------------------------------------------------------ #
+    def to_strings(self) -> List[str]:
+        """Render all cubes in positional notation."""
+        return [cube.to_string() for cube in self._cubes]
+
+    def to_expression(self, names: Sequence[str]) -> str:
+        """Render the cover as a sum of products using variable names."""
+        if self.is_empty():
+            return "0"
+        return " + ".join(cube.to_expression(names) for cube in self._cubes)
+
+    def __str__(self) -> str:
+        return " + ".join(self.to_strings()) if self._cubes else "<empty>"
+
+    def __repr__(self) -> str:
+        return "Cover(%d, %r)" % (self.nvars, self.to_strings())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cover):
+            return NotImplemented
+        return self.nvars == other.nvars and set(self._cubes) == set(other._cubes)
+
+    def __hash__(self) -> int:  # pragma: no cover - covers rarely hashed
+        return hash((self.nvars, frozenset(self._cubes)))
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+    def _append_checked(self, cube: Cube) -> None:
+        if cube.nvars != self.nvars:
+            raise CubeError(
+                "cube over %d variables added to a cover over %d variables"
+                % (cube.nvars, self.nvars)
+            )
+        self._cubes.append(cube)
+
+    def _check_compatible(self, other: "Cover") -> None:
+        if self.nvars != other.nvars:
+            raise CubeError(
+                "cover spaces differ: %d vs %d variables" % (self.nvars, other.nvars)
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Recursive helpers (unate recursive paradigm)
+# ---------------------------------------------------------------------- #
+def _select_splitting_var(cover: Cover) -> Optional[int]:
+    """Pick the variable appearing in the largest number of cubes."""
+    counts = [0] * cover.nvars
+    for cube in cover:
+        for var, _value in cube.literals():
+            counts[var] += 1
+    best_var = None
+    best_count = 0
+    for var, count in enumerate(counts):
+        if count > best_count:
+            best_var = var
+            best_count = count
+    return best_var
+
+
+def _tautology_rec(cover: Cover) -> bool:
+    """Recursive tautology check."""
+    for cube in cover:
+        if cube.is_full():
+            return True
+    if cover.is_empty():
+        return False
+    var = _select_splitting_var(cover)
+    if var is None:
+        # No literals anywhere but no full cube either: impossible since a
+        # cube without literals *is* the full cube; defensive fallback.
+        return False
+    positive = cover.cofactor(Cube.full(cover.nvars).with_literal(var, 1))
+    if not _tautology_rec(positive):
+        return False
+    negative = cover.cofactor(Cube.full(cover.nvars).with_literal(var, 0))
+    return _tautology_rec(negative)
+
+
+def _complement_rec(cover: Cover, context: Cube) -> List[Cube]:
+    """Return cubes covering ``context AND NOT cover``."""
+    # Quick exits.
+    if cover.is_empty():
+        return [context]
+    for cube in cover:
+        if cube.is_full():
+            return []
+    var = _select_splitting_var(cover)
+    if var is None:
+        return []
+    results: List[Cube] = []
+    for value in (1, 0):
+        branch_context = context.cofactor(var, value)
+        if branch_context is None:
+            continue
+        branch_context = branch_context.with_literal(var, value)
+        branch = cover.cofactor(Cube.full(cover.nvars).with_literal(var, value))
+        results.extend(_complement_rec(branch, branch_context))
+    return results

@@ -1,0 +1,351 @@
+"""Cube representation for positional-cube two-level logic.
+
+A *cube* is a product term over a fixed number of Boolean variables.  Each
+variable takes one of three values inside a cube:
+
+* ``1``  -- the variable appears as a positive literal,
+* ``0``  -- the variable appears as a negative (complemented) literal,
+* ``-``  -- the variable does not appear (don't care).
+
+Cubes are the basic building block of covers (see :mod:`repro.boolean.cover`)
+which in turn represent the on-sets, off-sets and don't-care sets used during
+speed-independent circuit synthesis.
+
+The implementation stores two bit masks (``ones`` and ``zeros``) which makes
+intersection, containment and distance computations O(1) integer operations,
+important because the synthesis algorithms perform very large numbers of
+cube-level checks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+__all__ = ["Cube", "CubeError"]
+
+
+class CubeError(ValueError):
+    """Raised when a cube is constructed or combined inconsistently."""
+
+
+class Cube:
+    """An immutable product term over ``nvars`` Boolean variables.
+
+    Parameters
+    ----------
+    nvars:
+        Number of variables of the Boolean space the cube lives in.
+    ones:
+        Bit mask of the variables constrained to ``1``.
+    zeros:
+        Bit mask of the variables constrained to ``0``.
+
+    The two masks must be disjoint; a variable constrained both to ``0`` and
+    ``1`` would denote the empty set, which is represented by ``None`` at the
+    API level (e.g. the result of an empty intersection) rather than by a
+    special cube value.
+    """
+
+    __slots__ = ("nvars", "ones", "zeros")
+
+    def __init__(self, nvars: int, ones: int = 0, zeros: int = 0) -> None:
+        if nvars < 0:
+            raise CubeError("nvars must be non-negative, got %d" % nvars)
+        mask = (1 << nvars) - 1
+        if ones & ~mask or zeros & ~mask:
+            raise CubeError("literal mask references variables outside the space")
+        if ones & zeros:
+            raise CubeError(
+                "a variable cannot be constrained to both 0 and 1 "
+                "(ones=%#x zeros=%#x)" % (ones, zeros)
+            )
+        object.__setattr__(self, "nvars", nvars)
+        object.__setattr__(self, "ones", ones)
+        object.__setattr__(self, "zeros", zeros)
+
+    # ------------------------------------------------------------------ #
+    # Immutability helpers
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:  # pragma: no cover - guard
+        raise AttributeError("Cube instances are immutable")
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def full(cls, nvars: int) -> "Cube":
+        """Return the universal cube (all variables don't care)."""
+        return cls(nvars)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Cube":
+        """Parse a cube from a string such as ``"1-0"``.
+
+        Position ``i`` of the string corresponds to variable ``i``.  Accepted
+        characters are ``0``, ``1``, ``-`` and ``x`` (alias for ``-``).
+        """
+        ones = 0
+        zeros = 0
+        for index, char in enumerate(text.strip()):
+            if char == "1":
+                ones |= 1 << index
+            elif char == "0":
+                zeros |= 1 << index
+            elif char in "-xX":
+                continue
+            else:
+                raise CubeError("invalid cube character %r in %r" % (char, text))
+        return cls(len(text.strip()), ones, zeros)
+
+    @classmethod
+    def from_values(cls, values: Sequence[Optional[int]]) -> "Cube":
+        """Build a cube from a sequence of ``0`` / ``1`` / ``None`` values."""
+        ones = 0
+        zeros = 0
+        for index, value in enumerate(values):
+            if value is None:
+                continue
+            if value == 1:
+                ones |= 1 << index
+            elif value == 0:
+                zeros |= 1 << index
+            else:
+                raise CubeError("cube values must be 0, 1 or None, got %r" % (value,))
+        return cls(len(values), ones, zeros)
+
+    @classmethod
+    def from_minterm(cls, nvars: int, minterm: int) -> "Cube":
+        """Build the cube corresponding to a single minterm.
+
+        Bit ``i`` of ``minterm`` is the value of variable ``i``.
+        """
+        mask = (1 << nvars) - 1
+        if minterm & ~mask:
+            raise CubeError("minterm %d does not fit in %d variables" % (minterm, nvars))
+        return cls(nvars, ones=minterm, zeros=mask & ~minterm)
+
+    @classmethod
+    def from_assignment(cls, assignment: Sequence[int]) -> "Cube":
+        """Build a fully-specified cube from a 0/1 assignment vector."""
+        return cls.from_values([int(v) for v in assignment])
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def value(self, var: int) -> Optional[int]:
+        """Return ``1``, ``0`` or ``None`` for variable ``var``."""
+        bit = 1 << var
+        if self.ones & bit:
+            return 1
+        if self.zeros & bit:
+            return 0
+        return None
+
+    def literals(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over ``(variable, value)`` pairs of specified literals."""
+        for var in range(self.nvars):
+            bit = 1 << var
+            if self.ones & bit:
+                yield var, 1
+            elif self.zeros & bit:
+                yield var, 0
+
+    @property
+    def num_literals(self) -> int:
+        """Number of specified literals (i.e. non-don't-care positions)."""
+        return _popcount(self.ones) + _popcount(self.zeros)
+
+    @property
+    def free_mask(self) -> int:
+        """Bit mask of don't-care variables."""
+        return ((1 << self.nvars) - 1) & ~(self.ones | self.zeros)
+
+    @property
+    def num_minterms(self) -> int:
+        """Number of minterms covered by the cube."""
+        return 1 << (self.nvars - self.num_literals)
+
+    def is_full(self) -> bool:
+        """Return True if the cube is the universal cube."""
+        return self.ones == 0 and self.zeros == 0
+
+    def is_minterm(self) -> bool:
+        """Return True if every variable is specified."""
+        return self.num_literals == self.nvars
+
+    # ------------------------------------------------------------------ #
+    # Set-algebra operations
+    # ------------------------------------------------------------------ #
+    def intersect(self, other: "Cube") -> Optional["Cube"]:
+        """Return the cube intersection, or ``None`` if it is empty."""
+        self._check_compatible(other)
+        ones = self.ones | other.ones
+        zeros = self.zeros | other.zeros
+        if ones & zeros:
+            return None
+        return Cube(self.nvars, ones, zeros)
+
+    def __and__(self, other: "Cube") -> Optional["Cube"]:
+        return self.intersect(other)
+
+    def intersects(self, other: "Cube") -> bool:
+        """Return True if the two cubes share at least one minterm."""
+        self._check_compatible(other)
+        return not ((self.ones | other.ones) & (self.zeros | other.zeros))
+
+    def contains(self, other: "Cube") -> bool:
+        """Return True if ``other`` is a (not necessarily proper) sub-cube."""
+        self._check_compatible(other)
+        return (self.ones & ~other.ones) == 0 and (self.zeros & ~other.zeros) == 0
+
+    def covers_minterm(self, minterm: int) -> bool:
+        """Return True if the cube covers the given minterm."""
+        return (self.ones & ~minterm) == 0 and (self.zeros & minterm) == 0
+
+    def covers_assignment(self, assignment: Sequence[int]) -> bool:
+        """Return True if the cube covers a 0/1 assignment vector."""
+        minterm = 0
+        for index, value in enumerate(assignment):
+            if value:
+                minterm |= 1 << index
+        return self.covers_minterm(minterm)
+
+    def distance(self, other: "Cube") -> int:
+        """Number of variables on which the cubes take opposite fixed values."""
+        self._check_compatible(other)
+        conflict = (self.ones & other.zeros) | (self.zeros & other.ones)
+        return _popcount(conflict)
+
+    def consensus(self, other: "Cube") -> Optional["Cube"]:
+        """Return the consensus cube if the distance is exactly one."""
+        self._check_compatible(other)
+        conflict = (self.ones & other.zeros) | (self.zeros & other.ones)
+        if _popcount(conflict) != 1:
+            return None
+        ones = (self.ones | other.ones) & ~conflict
+        zeros = (self.zeros | other.zeros) & ~conflict
+        return Cube(self.nvars, ones, zeros)
+
+    def supercube(self, other: "Cube") -> "Cube":
+        """Smallest cube containing both cubes."""
+        self._check_compatible(other)
+        ones = self.ones & other.ones
+        zeros = self.zeros & other.zeros
+        return Cube(self.nvars, ones, zeros)
+
+    def cofactor(self, var: int, value: int) -> Optional["Cube"]:
+        """Shannon cofactor with respect to ``var = value``.
+
+        Returns ``None`` when the cube requires the opposite value (the
+        cofactor is empty), otherwise returns the cube with the variable
+        freed.
+        """
+        bit = 1 << var
+        if value:
+            if self.zeros & bit:
+                return None
+            return Cube(self.nvars, self.ones & ~bit, self.zeros)
+        if self.ones & bit:
+            return None
+        return Cube(self.nvars, self.ones, self.zeros & ~bit)
+
+    def without_var(self, var: int) -> "Cube":
+        """Return the cube with variable ``var`` turned into a don't care."""
+        bit = 1 << var
+        return Cube(self.nvars, self.ones & ~bit, self.zeros & ~bit)
+
+    def with_literal(self, var: int, value: int) -> "Cube":
+        """Return the cube with variable ``var`` forced to ``value``."""
+        bit = 1 << var
+        if value:
+            return Cube(self.nvars, self.ones | bit, self.zeros & ~bit)
+        return Cube(self.nvars, self.ones & ~bit, self.zeros | bit)
+
+    def free_vars(self) -> Iterator[int]:
+        """Iterate over the indices of don't-care variables."""
+        free = self.free_mask
+        for var in range(self.nvars):
+            if free & (1 << var):
+                yield var
+
+    def minterms(self) -> Iterator[int]:
+        """Enumerate covered minterms (exponential in the number of free vars)."""
+        free_positions = [var for var in self.free_vars()]
+        base = self.ones
+        for combo in range(1 << len(free_positions)):
+            minterm = base
+            for offset, var in enumerate(free_positions):
+                if combo & (1 << offset):
+                    minterm |= 1 << var
+            yield minterm
+
+    def complement_cubes(self) -> Iterator["Cube"]:
+        """Yield a disjoint cover of the complement of the cube."""
+        fixed = []
+        for var, value in self.literals():
+            cube = Cube(self.nvars)
+            for prev_var, prev_value in fixed:
+                cube = cube.with_literal(prev_var, prev_value)
+            yield cube.with_literal(var, 1 - value)
+            fixed.append((var, value))
+
+    # ------------------------------------------------------------------ #
+    # Presentation
+    # ------------------------------------------------------------------ #
+    def to_string(self) -> str:
+        """Render the cube in positional notation, e.g. ``"1-0"``."""
+        chars = []
+        for var in range(self.nvars):
+            bit = 1 << var
+            if self.ones & bit:
+                chars.append("1")
+            elif self.zeros & bit:
+                chars.append("0")
+            else:
+                chars.append("-")
+        return "".join(chars)
+
+    def to_expression(self, names: Sequence[str]) -> str:
+        """Render the cube as a product of named literals, e.g. ``a b' c``."""
+        if len(names) < self.nvars:
+            raise CubeError("not enough variable names for %d variables" % self.nvars)
+        parts = []
+        for var, value in self.literals():
+            parts.append(names[var] if value else names[var] + "'")
+        return " ".join(parts) if parts else "1"
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+    def __repr__(self) -> str:
+        return "Cube(%r)" % self.to_string()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Cube):
+            return NotImplemented
+        return (
+            self.nvars == other.nvars
+            and self.ones == other.ones
+            and self.zeros == other.zeros
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.nvars, self.ones, self.zeros))
+
+    def __lt__(self, other: "Cube") -> bool:
+        self._check_compatible(other)
+        return (self.ones, self.zeros) < (other.ones, other.zeros)
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+    def _check_compatible(self, other: "Cube") -> None:
+        if self.nvars != other.nvars:
+            raise CubeError(
+                "cube spaces differ: %d vs %d variables" % (self.nvars, other.nvars)
+            )
+
+
+def _popcount(value: int) -> int:
+    """Portable population count (``int.bit_count`` requires Python 3.10)."""
+    return bin(value).count("1")

@@ -1,0 +1,95 @@
+"""Named Boolean functions built on top of covers.
+
+A :class:`BooleanFunction` bundles a cover with the list of variable (signal)
+names it is defined over.  The synthesis back-end uses it to present gate
+equations such as ``b = a + c`` and to count literals per output signal the
+same way Table 1 of the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .cover import Cover
+from .cube import Cube
+
+__all__ = ["BooleanFunction"]
+
+
+class BooleanFunction:
+    """A single-output Boolean function over named variables."""
+
+    def __init__(self, names: Sequence[str], cover: Cover) -> None:
+        if cover.nvars != len(names):
+            raise ValueError(
+                "cover has %d variables but %d names were given"
+                % (cover.nvars, len(names))
+            )
+        self.names: List[str] = list(names)
+        self.cover = cover
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def constant(cls, names: Sequence[str], value: bool) -> "BooleanFunction":
+        """Return the constant-0 or constant-1 function."""
+        nvars = len(names)
+        cover = Cover.universe(nvars) if value else Cover.empty(nvars)
+        return cls(names, cover)
+
+    @classmethod
+    def from_minterms(
+        cls, names: Sequence[str], minterms: Iterable[int]
+    ) -> "BooleanFunction":
+        """Build a function from an explicit list of minterms."""
+        return cls(names, Cover.from_minterms(len(names), minterms))
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        """Evaluate the function for a name -> value assignment."""
+        vector = [int(assignment[name]) for name in self.names]
+        return self.cover.evaluate(vector)
+
+    def evaluate_vector(self, values: Sequence[int]) -> bool:
+        """Evaluate the function for a positional 0/1 vector."""
+        return self.cover.evaluate(values)
+
+    # ------------------------------------------------------------------ #
+    # Metrics and presentation
+    # ------------------------------------------------------------------ #
+    @property
+    def literal_count(self) -> int:
+        """Number of literals in the SOP representation."""
+        return self.cover.literal_count
+
+    @property
+    def num_cubes(self) -> int:
+        """Number of product terms."""
+        return len(self.cover)
+
+    def support(self) -> List[str]:
+        """Names of the variables the function actually depends on."""
+        used: Dict[int, bool] = {}
+        for cube in self.cover:
+            for var, _value in cube.literals():
+                used[var] = True
+        return [self.names[var] for var in sorted(used)]
+
+    def to_expression(self) -> str:
+        """Render as a human-readable sum of products."""
+        return self.cover.to_expression(self.names)
+
+    def equivalent(self, other: "BooleanFunction") -> bool:
+        """Structural-name-aware functional equivalence check."""
+        if self.names != other.names:
+            raise ValueError("functions are defined over different variable orders")
+        return self.cover.equivalent(other.cover)
+
+    def __str__(self) -> str:
+        return self.to_expression()
+
+    def __repr__(self) -> str:
+        return "BooleanFunction(%r)" % self.to_expression()

@@ -1,0 +1,120 @@
+"""Command-line interface.
+
+Examples
+--------
+Synthesise a ``.g`` file with the paper's method and print the equations::
+
+    repro-synth synth controller.g --method unfolding-approx
+
+Run the Table 1 and Figure 6 reproductions::
+
+    repro-synth table1
+    repro-synth figure6 --stages 2 4 6 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .flow import format_table, run_counterflow, run_figure6, run_table1
+from .stg import benchmark_by_name, parse_g_file
+from .synthesis import METHODS, synthesize, verify_implementation
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-synth",
+        description="Speed-independent circuit synthesis from STG-unfolding segments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synth", help="synthesise an STG (.g file or benchmark name)")
+    synth.add_argument("spec", help="path to a .g file or a built-in benchmark name")
+    synth.add_argument("--method", choices=METHODS, default="unfolding-approx")
+    synth.add_argument("--architecture", choices=("acg", "c-element", "rs-latch"), default="acg")
+    synth.add_argument("--verify", action="store_true", help="verify against the State Graph")
+
+    table1 = sub.add_parser("table1", help="reproduce Table 1")
+    table1.add_argument("--methods", nargs="+", default=["unfolding-approx", "sg-explicit"])
+    table1.add_argument("--benchmarks", nargs="*", default=None)
+
+    fig6 = sub.add_parser("figure6", help="reproduce the Figure 6 scaling experiment")
+    fig6.add_argument("--stages", nargs="+", type=int, default=[2, 4, 6, 8, 10])
+    fig6.add_argument("--methods", nargs="+", default=["unfolding-approx", "sg-explicit", "sg-bdd"])
+
+    sub.add_parser("counterflow", help="synthesise the 34-signal counterflow stand-in")
+    return parser
+
+
+def _load_stg(spec: str):
+    if spec.endswith(".g"):
+        return parse_g_file(spec)
+    try:
+        return benchmark_by_name(spec).build()
+    except KeyError:
+        raise SystemExit("unknown benchmark %r and not a .g file" % spec)
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    stg = _load_stg(args.spec)
+    result = synthesize(stg, method=args.method, architecture=args.architecture)
+    print(result.implementation.to_text())
+    print()
+    row = result.timing_row()
+    print(
+        "# UnfTim %.3fs  SynTim %.3fs  EspTim %.3fs  TotTim %.3fs"
+        % (row["UnfTim"], row["SynTim"], row["EspTim"], row["TotTim"])
+    )
+    if args.verify:
+        check = verify_implementation(stg, result.implementation)
+        print("# verification: %s" % ("OK" if check.ok else "FAILED"))
+        for error in check.errors:
+            print("#   %s" % error)
+        return 0 if check.ok else 1
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    entries = None
+    if args.benchmarks:
+        entries = [benchmark_by_name(name) for name in args.benchmarks]
+    rows = run_table1(entries=entries, methods=args.methods)
+    columns = ["benchmark", "signals", "UnfTim", "SynTim", "EspTim", "TotTim", "LitCnt"]
+    for method in args.methods:
+        if method != "unfolding-approx":
+            columns += ["%s_total" % method, "%s_literals" % method]
+    print(format_table(rows, columns))
+    return 0
+
+
+def _cmd_figure6(args: argparse.Namespace) -> int:
+    rows = run_figure6(stage_counts=args.stages, methods=args.methods)
+    columns = ["stages", "signals"] + list(args.methods)
+    print(format_table(rows, columns))
+    return 0
+
+
+def _cmd_counterflow(_args: argparse.Namespace) -> int:
+    row = run_counterflow()
+    print(format_table([row], ["signals", "method", "time", "literals", "segment_events"]))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "synth": _cmd_synth,
+        "table1": _cmd_table1,
+        "figure6": _cmd_figure6,
+        "counterflow": _cmd_counterflow,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Experiment flow: harnesses for the paper's tables and figures."""
+
+from .experiments import (
+    DEFAULT_METHODS,
+    Table1Row,
+    format_table,
+    run_counterflow,
+    run_figure6,
+    run_table1,
+)
+
+__all__ = [
+    "DEFAULT_METHODS",
+    "Table1Row",
+    "format_table",
+    "run_counterflow",
+    "run_figure6",
+    "run_table1",
+]

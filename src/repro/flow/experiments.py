@@ -1,0 +1,155 @@
+"""Experiment harnesses regenerating the paper's evaluation.
+
+* :func:`run_table1` -- Table 1: per-benchmark timing breakdown and literal
+  counts for the unfolding-based method against the SG-based baselines.
+* :func:`run_figure6` -- Figure 6: synthesis time vs number of signals on the
+  scalable Muller-pipeline specification, per method, with per-method size
+  cut-offs (the paper's message is that the SG-based tools blow up while the
+  unfolding-based flow keeps scaling).
+* :func:`run_counterflow` -- the "circled dot" of Figure 6: the 34-signal
+  counterflow-pipeline specification synthesised with the unfolding method.
+
+All functions return plain data (lists of row dictionaries) so they can be
+used from the pytest-benchmark harness, the CLI and EXPERIMENTS.md alike.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..stg import BenchmarkEntry, counterflow_pipeline, muller_pipeline, table1_suite
+from ..synthesis import synthesize
+
+__all__ = [
+    "Table1Row",
+    "run_table1",
+    "run_figure6",
+    "run_counterflow",
+    "format_table",
+]
+
+DEFAULT_METHODS = ("unfolding-approx", "sg-explicit", "sg-bdd")
+
+
+class Table1Row(dict):
+    """One row of the Table 1 reproduction (a dict with fixed keys)."""
+
+
+def _synthesize_timed(stg, method: str, max_states: Optional[int], timeout: Optional[float]):
+    """Run one synthesis, returning (result, wall_time) or (None, wall_time)."""
+    start = time.perf_counter()
+    try:
+        result = synthesize(stg, method=method, max_states=max_states)
+    except Exception:
+        return None, time.perf_counter() - start
+    elapsed = time.perf_counter() - start
+    if timeout is not None and elapsed > timeout:
+        return result, elapsed
+    return result, elapsed
+
+
+def run_table1(
+    entries: Optional[Sequence[BenchmarkEntry]] = None,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    max_states: Optional[int] = 200000,
+) -> List[Table1Row]:
+    """Reproduce Table 1 on the benchmark suite.
+
+    Each row reports the paper's columns for the unfolding method (UnfTim /
+    SynTim / EspTim / TotTim and literal count) plus the total times and
+    literal counts of the requested baseline methods.
+    """
+    if entries is None:
+        entries = table1_suite()
+    rows: List[Table1Row] = []
+    for entry in entries:
+        stg = entry.build()
+        row = Table1Row(
+            benchmark=entry.name,
+            signals=stg.num_signals,
+            synthetic=entry.synthetic,
+            paper_literals=entry.paper_literals,
+            paper_total_time=entry.paper_total_time,
+        )
+        for method in methods:
+            result, elapsed = _synthesize_timed(stg, method, max_states, None)
+            prefix = method
+            if result is None:
+                row["%s_total" % prefix] = None
+                row["%s_literals" % prefix] = None
+                continue
+            row["%s_total" % prefix] = round(result.total_time, 4)
+            row["%s_literals" % prefix] = result.literal_count
+            if method == "unfolding-approx":
+                row["UnfTim"] = round(result.unfold_time, 4)
+                row["SynTim"] = round(result.cover_time, 4)
+                row["EspTim"] = round(result.minimize_time, 4)
+                row["TotTim"] = round(result.total_time, 4)
+                row["LitCnt"] = result.literal_count
+        rows.append(row)
+    return rows
+
+
+def run_figure6(
+    stage_counts: Sequence[int] = (2, 4, 6, 8, 10, 12),
+    methods: Sequence[str] = DEFAULT_METHODS,
+    method_limits: Optional[Dict[str, int]] = None,
+    max_states: Optional[int] = 300000,
+) -> List[Dict[str, object]]:
+    """Reproduce the Figure 6 scaling experiment on the Muller pipeline.
+
+    ``method_limits`` maps a method name to the largest number of *signals*
+    it is attempted on (mirroring how the paper reports SIS and Petrify
+    dropping out as the specification grows); beyond the limit the method's
+    entry is ``None``.
+    """
+    if method_limits is None:
+        method_limits = {"sg-explicit": 12, "sg-bdd": 14, "unfolding-exact": 14}
+    rows: List[Dict[str, object]] = []
+    for stages in stage_counts:
+        stg = muller_pipeline(stages)
+        row: Dict[str, object] = {"stages": stages, "signals": stg.num_signals}
+        for method in methods:
+            limit = method_limits.get(method)
+            if limit is not None and stg.num_signals > limit:
+                row[method] = None
+                continue
+            result, elapsed = _synthesize_timed(stg, method, max_states, None)
+            row[method] = round(elapsed, 4) if result is not None else None
+            if result is not None:
+                row["%s_literals" % method] = result.literal_count
+        rows.append(row)
+    return rows
+
+
+def run_counterflow(
+    stages_per_direction: int = 15,
+    method: str = "unfolding-approx",
+) -> Dict[str, object]:
+    """Synthesise the counterflow-pipeline stand-in (34 signals by default)."""
+    stg = counterflow_pipeline(stages_per_direction)
+    result, elapsed = _synthesize_timed(stg, method, None, None)
+    return {
+        "signals": stg.num_signals,
+        "method": method,
+        "time": round(elapsed, 4) if result is not None else None,
+        "literals": result.literal_count if result is not None else None,
+        "segment_events": result.num_states if result is not None else None,
+    }
+
+
+def format_table(rows: Iterable[Dict[str, object]], columns: Sequence[str]) -> str:
+    """Render rows as a fixed-width text table (used by the CLI and benches)."""
+    rows = list(rows)
+    widths = {c: len(c) for c in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(str(row.get(column, ""))))
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Petri-net kernel: nets, markings, reachability and structural analysis."""
+
+from .marking import Marking
+from .net import PetriNet, PetriNetError
+from .reachability import ReachabilityGraph, StateSpaceLimitExceeded, explore
+from .structure import (
+    StructuralInfo,
+    concurrency_relation,
+    structural_conflict_pairs,
+    trigger_relation,
+)
+from .validate import ValidationReport, check_boundedness, check_safeness, validate_net
+
+__all__ = [
+    "Marking",
+    "PetriNet",
+    "PetriNetError",
+    "ReachabilityGraph",
+    "StateSpaceLimitExceeded",
+    "explore",
+    "StructuralInfo",
+    "concurrency_relation",
+    "structural_conflict_pairs",
+    "trigger_relation",
+    "ValidationReport",
+    "check_boundedness",
+    "check_safeness",
+    "validate_net",
+]

@@ -1,0 +1,106 @@
+"""Markings (token distributions) of Petri nets.
+
+A marking maps place names to non-negative token counts.  Markings are
+immutable and hashable so that reachability analysis and unfolding cutoff
+detection can use them directly as dictionary keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
+
+__all__ = ["Marking"]
+
+
+class Marking:
+    """An immutable multiset of marked places."""
+
+    __slots__ = ("_counts", "_key")
+
+    def __init__(self, counts: Mapping[str, int] = ()) -> None:
+        cleaned: Dict[str, int] = {}
+        for place, tokens in dict(counts).items():
+            if tokens < 0:
+                raise ValueError("negative token count for place %r" % place)
+            if tokens:
+                cleaned[place] = tokens
+        object.__setattr__(self, "_counts", cleaned)
+        object.__setattr__(self, "_key", frozenset(cleaned.items()))
+
+    def __setattr__(self, name: str, value) -> None:  # pragma: no cover - guard
+        raise AttributeError("Marking instances are immutable")
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_places(cls, places: Iterable[str]) -> "Marking":
+        """Build a safe marking with one token on each listed place."""
+        counts: Dict[str, int] = {}
+        for place in places:
+            counts[place] = counts.get(place, 0) + 1
+        return cls(counts)
+
+    def to_dict(self) -> Dict[str, int]:
+        """Return a mutable copy of the token counts."""
+        return dict(self._counts)
+
+    # ------------------------------------------------------------------ #
+    # Mapping-like protocol
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, place: str) -> int:
+        return self._counts.get(place, 0)
+
+    def __contains__(self, place: str) -> bool:
+        return place in self._counts
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._counts))
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        """Iterate over ``(place, tokens)`` pairs in place-name order."""
+        for place in sorted(self._counts):
+            yield place, self._counts[place]
+
+    @property
+    def places(self) -> FrozenSet[str]:
+        """The set of marked places."""
+        return frozenset(self._counts)
+
+    @property
+    def total_tokens(self) -> int:
+        """Total number of tokens in the marking."""
+        return sum(self._counts.values())
+
+    def is_safe(self) -> bool:
+        """True if no place holds more than one token."""
+        return all(tokens <= 1 for tokens in self._counts.values())
+
+    def covers(self, other: "Marking") -> bool:
+        """True if this marking has at least as many tokens everywhere."""
+        return all(self[place] >= tokens for place, tokens in other.items())
+
+    # ------------------------------------------------------------------ #
+    # Equality / hashing / presentation
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Marking):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __str__(self) -> str:
+        if not self._counts:
+            return "{}"
+        parts = []
+        for place, tokens in self.items():
+            parts.append(place if tokens == 1 else "%s*%d" % (place, tokens))
+        return "{" + ", ".join(parts) + "}"
+
+    def __repr__(self) -> str:
+        return "Marking(%s)" % dict(self.items())

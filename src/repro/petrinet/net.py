@@ -1,0 +1,242 @@
+"""Marked Petri nets.
+
+The Petri net is the behavioural substrate of the whole flow: a Signal
+Transition Graph (STG) is a labelled Petri net, the State Graph is its
+reachability graph, and the STG-unfolding segment is a branching process of
+the same net.  This module provides the net structure, the token game and a
+few commonly needed structural queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .marking import Marking
+
+__all__ = ["PetriNet", "PetriNetError"]
+
+
+class PetriNetError(ValueError):
+    """Raised for structurally invalid nets or illegal firings."""
+
+
+class PetriNet:
+    """A place/transition net with weighted arcs and an initial marking.
+
+    Places and transitions are identified by strings.  Arc weights default to
+    one; asynchronous-controller STGs are ordinary (weight-1) nets, but the
+    kernel supports weights so the substrate is a complete Petri-net library.
+    """
+
+    def __init__(self, name: str = "net") -> None:
+        self.name = name
+        self._places: List[str] = []
+        self._transitions: List[str] = []
+        self._place_set: Set[str] = set()
+        self._transition_set: Set[str] = set()
+        # presets[t] = {p: weight}; postsets[t] = {p: weight}
+        self._presets: Dict[str, Dict[str, int]] = {}
+        self._postsets: Dict[str, Dict[str, int]] = {}
+        # place_postsets[p] = set of transitions consuming from p
+        self._place_postsets: Dict[str, Set[str]] = {}
+        self._place_presets: Dict[str, Set[str]] = {}
+        self._initial: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_place(self, place: str, tokens: int = 0) -> str:
+        """Add a place, optionally with initial tokens.  Idempotent."""
+        if place not in self._place_set:
+            if place in self._transition_set:
+                raise PetriNetError("name %r already used for a transition" % place)
+            self._places.append(place)
+            self._place_set.add(place)
+            self._place_postsets[place] = set()
+            self._place_presets[place] = set()
+        if tokens:
+            self._initial[place] = self._initial.get(place, 0) + tokens
+        return place
+
+    def add_transition(self, transition: str) -> str:
+        """Add a transition.  Idempotent."""
+        if transition not in self._transition_set:
+            if transition in self._place_set:
+                raise PetriNetError("name %r already used for a place" % transition)
+            self._transitions.append(transition)
+            self._transition_set.add(transition)
+            self._presets[transition] = {}
+            self._postsets[transition] = {}
+        return transition
+
+    def add_arc(self, source: str, target: str, weight: int = 1) -> None:
+        """Add an arc from a place to a transition or vice versa."""
+        if weight <= 0:
+            raise PetriNetError("arc weight must be positive, got %d" % weight)
+        if source in self._place_set and target in self._transition_set:
+            self._presets[target][source] = self._presets[target].get(source, 0) + weight
+            self._place_postsets[source].add(target)
+        elif source in self._transition_set and target in self._place_set:
+            self._postsets[source][target] = self._postsets[source].get(target, 0) + weight
+            self._place_presets[target].add(source)
+        else:
+            raise PetriNetError(
+                "arc must connect a place and a transition: %r -> %r" % (source, target)
+            )
+
+    def set_initial_tokens(self, place: str, tokens: int) -> None:
+        """Set (overwrite) the initial token count of a place."""
+        if place not in self._place_set:
+            raise PetriNetError("unknown place %r" % place)
+        if tokens < 0:
+            raise PetriNetError("token count must be non-negative")
+        if tokens:
+            self._initial[place] = tokens
+        else:
+            self._initial.pop(place, None)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def places(self) -> Tuple[str, ...]:
+        return tuple(self._places)
+
+    @property
+    def transitions(self) -> Tuple[str, ...]:
+        return tuple(self._transitions)
+
+    @property
+    def initial_marking(self) -> Marking:
+        return Marking(self._initial)
+
+    def has_place(self, place: str) -> bool:
+        return place in self._place_set
+
+    def has_transition(self, transition: str) -> bool:
+        return transition in self._transition_set
+
+    def preset(self, transition: str) -> Dict[str, int]:
+        """Input places of a transition with their arc weights."""
+        self._require_transition(transition)
+        return dict(self._presets[transition])
+
+    def postset(self, transition: str) -> Dict[str, int]:
+        """Output places of a transition with their arc weights."""
+        self._require_transition(transition)
+        return dict(self._postsets[transition])
+
+    def place_preset(self, place: str) -> Set[str]:
+        """Transitions producing tokens into a place."""
+        self._require_place(place)
+        return set(self._place_presets[place])
+
+    def place_postset(self, place: str) -> Set[str]:
+        """Transitions consuming tokens from a place."""
+        self._require_place(place)
+        return set(self._place_postsets[place])
+
+    def _require_place(self, place: str) -> None:
+        if place not in self._place_set:
+            raise PetriNetError("unknown place %r" % place)
+
+    def _require_transition(self, transition: str) -> None:
+        if transition not in self._transition_set:
+            raise PetriNetError("unknown transition %r" % transition)
+
+    # ------------------------------------------------------------------ #
+    # Token game
+    # ------------------------------------------------------------------ #
+    def is_enabled(self, marking: Marking, transition: str) -> bool:
+        """Return True if ``transition`` may fire from ``marking``."""
+        self._require_transition(transition)
+        preset = self._presets[transition]
+        return all(marking[place] >= weight for place, weight in preset.items())
+
+    def enabled_transitions(self, marking: Marking) -> List[str]:
+        """All transitions enabled at the marking, in declaration order."""
+        return [t for t in self._transitions if self.is_enabled(marking, t)]
+
+    def fire(self, marking: Marking, transition: str) -> Marking:
+        """Fire a transition and return the successor marking."""
+        if not self.is_enabled(marking, transition):
+            raise PetriNetError(
+                "transition %r is not enabled at %s" % (transition, marking)
+            )
+        counts = marking.to_dict()
+        for place, weight in self._presets[transition].items():
+            counts[place] -= weight
+            if counts[place] == 0:
+                del counts[place]
+        for place, weight in self._postsets[transition].items():
+            counts[place] = counts.get(place, 0) + weight
+        return Marking(counts)
+
+    def fire_sequence(self, marking: Marking, sequence: Sequence[str]) -> Marking:
+        """Fire a sequence of transitions, returning the final marking."""
+        current = marking
+        for transition in sequence:
+            current = self.fire(current, transition)
+        return current
+
+    # ------------------------------------------------------------------ #
+    # Structural queries
+    # ------------------------------------------------------------------ #
+    def structural_conflicts(self, transition: str) -> Set[str]:
+        """Transitions sharing an input place with ``transition``."""
+        self._require_transition(transition)
+        conflicts: Set[str] = set()
+        for place in self._presets[transition]:
+            conflicts.update(self._place_postsets[place])
+        conflicts.discard(transition)
+        return conflicts
+
+    def is_free_choice(self) -> bool:
+        """Check the (extended) free-choice property.
+
+        Whenever two transitions share an input place they must have exactly
+        the same preset.  The structural method of Pastor et al. the paper
+        compares against is restricted to free-choice nets; ours is not, so
+        this predicate is used in benchmarks to classify specifications.
+        """
+        for transition in self._transitions:
+            preset = set(self._presets[transition])
+            for other in self.structural_conflicts(transition):
+                if set(self._presets[other]) != preset:
+                    return False
+        return True
+
+    def is_marked_graph(self) -> bool:
+        """True if every place has at most one producer and one consumer."""
+        return all(
+            len(self._place_presets[p]) <= 1 and len(self._place_postsets[p]) <= 1
+            for p in self._places
+        )
+
+    def isolated_places(self) -> List[str]:
+        """Places with no incident arcs (usually a specification bug)."""
+        return [
+            p
+            for p in self._places
+            if not self._place_presets[p] and not self._place_postsets[p]
+        ]
+
+    def copy(self, name: Optional[str] = None) -> "PetriNet":
+        """Deep-copy the net (markings and arcs are plain data)."""
+        clone = PetriNet(name or self.name)
+        for place in self._places:
+            clone.add_place(place, self._initial.get(place, 0))
+        for transition in self._transitions:
+            clone.add_transition(transition)
+            for place, weight in self._presets[transition].items():
+                clone.add_arc(place, transition, weight)
+            for place, weight in self._postsets[transition].items():
+                clone.add_arc(transition, place, weight)
+        return clone
+
+    def __repr__(self) -> str:
+        return "PetriNet(%r, places=%d, transitions=%d)" % (
+            self.name,
+            len(self._places),
+            len(self._transitions),
+        )

@@ -1,0 +1,112 @@
+"""Structural relations between Petri-net transitions.
+
+The approximation technique of the paper is driven by relations between
+*instances* in the unfolding, but structural (net-level) relations are still
+useful: they drive benchmark classification, sanity checks and the
+comparison against the structural-approximation baseline of Pastor et al.
+(which assumes two transitions are concurrent if they can *ever* fire
+simultaneously).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .net import PetriNet
+from .reachability import ReachabilityGraph, explore
+
+__all__ = [
+    "structural_conflict_pairs",
+    "concurrency_relation",
+    "trigger_relation",
+    "StructuralInfo",
+]
+
+
+def structural_conflict_pairs(net: PetriNet) -> Set[FrozenSet[str]]:
+    """All unordered pairs of transitions sharing an input place."""
+    pairs: Set[FrozenSet[str]] = set()
+    for transition in net.transitions:
+        for other in net.structural_conflicts(transition):
+            pairs.add(frozenset((transition, other)))
+    return pairs
+
+
+def concurrency_relation(
+    net: PetriNet, graph: Optional[ReachabilityGraph] = None
+) -> Set[FrozenSet[str]]:
+    """Behavioural concurrency: pairs of transitions enabled together.
+
+    Two transitions are considered concurrent when some reachable marking
+    enables both on disjoint presets (they can fire in either order / at the
+    same time).  This is the state-based notion used by structural synthesis
+    methods; the unfolding-based method refines it per instance.
+    """
+    if graph is None:
+        graph = explore(net)
+    pairs: Set[FrozenSet[str]] = set()
+    transitions = list(net.transitions)
+    presets = {t: set(net.preset(t)) for t in transitions}
+    for index in range(graph.num_states):
+        marking = graph.markings[index]
+        enabled = [t for t in transitions if net.is_enabled(marking, t)]
+        for i, left in enumerate(enabled):
+            for right in enabled[i + 1:]:
+                if presets[left].isdisjoint(presets[right]):
+                    # Check true concurrency: both can fire in sequence.
+                    after_left = net.fire(marking, left)
+                    if net.is_enabled(after_left, right):
+                        pairs.add(frozenset((left, right)))
+    return pairs
+
+
+def trigger_relation(net: PetriNet) -> Dict[str, Set[str]]:
+    """Map each transition to the transitions it can directly trigger.
+
+    ``t`` triggers ``u`` when some output place of ``t`` is an input place of
+    ``u``; this is the syntactic causality skeleton used when building
+    refinement sets.
+    """
+    triggers: Dict[str, Set[str]] = {t: set() for t in net.transitions}
+    for transition in net.transitions:
+        for place in net.postset(transition):
+            triggers[transition].update(net.place_postset(place))
+    return triggers
+
+
+class StructuralInfo:
+    """Bundle of pre-computed structural facts about a net.
+
+    Useful for benchmark harnesses that want to report net characteristics
+    (free choice, marked graph, conflict density) next to synthesis results.
+    """
+
+    def __init__(self, net: PetriNet) -> None:
+        self.net = net
+        self.num_places = len(net.places)
+        self.num_transitions = len(net.transitions)
+        self.is_free_choice = net.is_free_choice()
+        self.is_marked_graph = net.is_marked_graph()
+        self.conflict_pairs = structural_conflict_pairs(net)
+        self.triggers = trigger_relation(net)
+
+    @property
+    def num_conflict_pairs(self) -> int:
+        return len(self.conflict_pairs)
+
+    def summary(self) -> Dict[str, object]:
+        """Return a dictionary suitable for tabular reporting."""
+        return {
+            "places": self.num_places,
+            "transitions": self.num_transitions,
+            "free_choice": self.is_free_choice,
+            "marked_graph": self.is_marked_graph,
+            "conflict_pairs": self.num_conflict_pairs,
+        }
+
+    def __repr__(self) -> str:
+        return "StructuralInfo(places=%d, transitions=%d, free_choice=%s)" % (
+            self.num_places,
+            self.num_transitions,
+            self.is_free_choice,
+        )

@@ -1,0 +1,117 @@
+"""Behavioural validation of Petri nets.
+
+Boundedness is one of the general correctness criteria the paper lists for
+implementability (Section 2.1): an unbounded STG cannot be implemented as a
+finite circuit.  For the controller-scale nets considered here the checks
+run on the explicit reachability graph with a state budget; the unfolding
+package performs the same check incrementally while the segment is being
+built.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .marking import Marking
+from .net import PetriNet
+from .reachability import ReachabilityGraph, StateSpaceLimitExceeded, explore
+
+__all__ = ["ValidationReport", "check_boundedness", "check_safeness", "validate_net"]
+
+
+class ValidationReport:
+    """Result of validating a net against boundedness/safeness/deadlocks."""
+
+    def __init__(
+        self,
+        bounded: bool,
+        safe: bool,
+        bound: Optional[int],
+        deadlock_markings: List[Marking],
+        num_states: Optional[int],
+        exhausted_budget: bool = False,
+    ) -> None:
+        self.bounded = bounded
+        self.safe = safe
+        self.bound = bound
+        self.deadlock_markings = deadlock_markings
+        self.num_states = num_states
+        self.exhausted_budget = exhausted_budget
+
+    @property
+    def has_deadlock(self) -> bool:
+        return bool(self.deadlock_markings)
+
+    def __repr__(self) -> str:
+        return (
+            "ValidationReport(bounded=%s, safe=%s, bound=%s, deadlocks=%d, states=%s)"
+            % (
+                self.bounded,
+                self.safe,
+                self.bound,
+                len(self.deadlock_markings),
+                self.num_states,
+            )
+        )
+
+
+def check_boundedness(
+    net: PetriNet, bound: int = 1, max_states: int = 100000
+) -> bool:
+    """Return True if no reachable marking puts more than ``bound`` tokens
+    on any place.
+
+    Uses a monotonicity argument for early unboundedness detection: if a
+    newly generated marking strictly covers a marking on the path leading to
+    it, the net is unbounded (Karp-Miller style cut-off).
+    """
+    start = net.initial_marking
+    stack: List[Tuple[Marking, List[Marking]]] = [(start, [])]
+    seen = {start}
+    states = 0
+    while stack:
+        marking, ancestors = stack.pop()
+        states += 1
+        if states > max_states:
+            raise StateSpaceLimitExceeded(max_states)
+        for _place, tokens in marking.items():
+            if tokens > bound:
+                return False
+        for transition in net.enabled_transitions(marking):
+            successor = net.fire(marking, transition)
+            for ancestor in ancestors:
+                if successor.covers(ancestor) and successor != ancestor:
+                    return False
+            if successor not in seen:
+                seen.add(successor)
+                stack.append((successor, ancestors + [marking]))
+    return True
+
+
+def check_safeness(net: PetriNet, max_states: int = 100000) -> bool:
+    """Return True if the net is 1-bounded (safe)."""
+    return check_boundedness(net, bound=1, max_states=max_states)
+
+
+def validate_net(net: PetriNet, max_states: int = 100000) -> ValidationReport:
+    """Run the standard validation suite on a net."""
+    try:
+        graph = explore(net, max_states=max_states)
+    except StateSpaceLimitExceeded:
+        return ValidationReport(
+            bounded=False,
+            safe=False,
+            bound=None,
+            deadlock_markings=[],
+            num_states=None,
+            exhausted_budget=True,
+        )
+    deadlocks = [graph.markings[i] for i in graph.deadlocks()]
+    bound = graph.bound()
+    return ValidationReport(
+        bounded=True,
+        safe=graph.is_safe(),
+        bound=bound,
+        deadlock_markings=deadlocks,
+        num_states=graph.num_states,
+    )

@@ -1,0 +1,145 @@
+"""State coding and output-persistency checks on the State Graph.
+
+* **USC** (Unique State Coding): no two distinct reachable markings share a
+  binary code.
+* **CSC** (Complete State Coding): markings may share a code only if they
+  imply the same behaviour of the non-input signals (same excited output
+  signals).  CSC is the paper's architecture-independent implementability
+  condition (Section 2.1): an STG satisfying the general correctness
+  criteria plus CSC can be implemented as a speed-independent circuit.
+* **Output persistency / semi-modularity**: an excited output signal can only
+  be disabled by its own firing, never by another signal change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..stg.signals import SignalType
+from .stategraph import StateGraph
+
+__all__ = [
+    "CSCReport",
+    "check_usc",
+    "check_csc",
+    "check_output_persistency",
+    "PersistencyViolation",
+]
+
+
+class CSCReport:
+    """Result of a USC/CSC check."""
+
+    def __init__(
+        self,
+        satisfied: bool,
+        conflicts: List[Tuple[int, int]],
+        kind: str,
+    ) -> None:
+        self.satisfied = satisfied
+        self.conflicts = conflicts
+        self.kind = kind
+
+    def __bool__(self) -> bool:
+        return self.satisfied
+
+    @property
+    def num_conflicts(self) -> int:
+        return len(self.conflicts)
+
+    def __repr__(self) -> str:
+        return "CSCReport(kind=%s, satisfied=%s, conflicts=%d)" % (
+            self.kind,
+            self.satisfied,
+            self.num_conflicts,
+        )
+
+
+def check_usc(graph: StateGraph) -> CSCReport:
+    """Check Unique State Coding: every reachable marking has a unique code."""
+    by_code: Dict[Tuple[int, ...], List[int]] = {}
+    for state in range(graph.num_states):
+        by_code.setdefault(graph.codes[state], []).append(state)
+    conflicts: List[Tuple[int, int]] = []
+    for states in by_code.values():
+        for i in range(len(states)):
+            for j in range(i + 1, len(states)):
+                conflicts.append((states[i], states[j]))
+    return CSCReport(not conflicts, conflicts, "USC")
+
+
+def check_csc(graph: StateGraph) -> CSCReport:
+    """Check Complete State Coding.
+
+    Two states with equal binary codes must have the same set of excited
+    *non-input* signals; otherwise the circuit cannot distinguish them and
+    the STG is not implementable without additional state signals.
+    """
+    implementable = set(graph.stg.implementable_signals)
+    by_code: Dict[Tuple[int, ...], List[int]] = {}
+    for state in range(graph.num_states):
+        by_code.setdefault(graph.codes[state], []).append(state)
+
+    conflicts: List[Tuple[int, int]] = []
+    for states in by_code.values():
+        if len(states) < 2:
+            continue
+        signatures = [
+            frozenset(graph.excited_signals(state) & implementable) for state in states
+        ]
+        for i in range(len(states)):
+            for j in range(i + 1, len(states)):
+                if signatures[i] != signatures[j]:
+                    conflicts.append((states[i], states[j]))
+    return CSCReport(not conflicts, conflicts, "CSC")
+
+
+class PersistencyViolation:
+    """An output transition disabled by another signal's firing."""
+
+    def __init__(self, state: int, disabled: str, by: str) -> None:
+        self.state = state
+        self.disabled = disabled
+        self.by = by
+
+    def __repr__(self) -> str:
+        return "PersistencyViolation(state=%d, %r disabled by %r)" % (
+            self.state,
+            self.disabled,
+            self.by,
+        )
+
+
+def check_output_persistency(graph: StateGraph) -> List[PersistencyViolation]:
+    """Check semi-modularity (output-signal persistency) on the State Graph.
+
+    For every state and every enabled transition of an implementable signal,
+    firing any *other* enabled transition must leave the output transition
+    enabled (unless both transitions belong to the same signal).
+    """
+    stg = graph.stg
+    implementable = set(stg.implementable_signals)
+    violations: List[PersistencyViolation] = []
+    for state in range(graph.num_states):
+        successors = graph.successors(state)
+        for output_transition, _target in successors:
+            output_label = stg.label_of(output_transition)
+            if output_label is None or output_label.signal not in implementable:
+                continue
+            for other_transition, other_target in successors:
+                if other_transition == output_transition:
+                    continue
+                other_label = stg.label_of(other_transition)
+                if other_label is not None and other_label.signal == output_label.signal:
+                    continue
+                still_enabled = any(
+                    stg.label_of(t) is not None
+                    and stg.label_of(t).signal == output_label.signal
+                    and stg.label_of(t).direction is output_label.direction
+                    for t, _ in graph.successors(other_target)
+                )
+                if not still_enabled:
+                    violations.append(
+                        PersistencyViolation(state, output_transition, other_transition)
+                    )
+    return violations

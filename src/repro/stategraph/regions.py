@@ -1,0 +1,155 @@
+"""Excitation/quiescent regions and on/off/don't-care sets.
+
+For a signal ``a`` the State Graph is partitioned into
+
+* ``ER(a+)`` / ``ER(a-)`` -- excitation regions: states where the rising
+  (falling) transition is enabled,
+* ``QR(a=1)`` / ``QR(a=0)`` -- quiescent regions: states where the signal is
+  stable at 1 (0),
+* the **on-set** ``On(a) = ER(a+) u QR(a=1)`` and the **off-set**
+  ``Off(a) = ER(a-) u QR(a=0)``,
+* the **DC-set**: binary codes not reachable at all.
+
+These are exactly the sets from which the atomic-complex-gate-per-signal
+implementation is derived (Section 2.2), and they also provide the set/reset
+excitation functions used by the C-element / RS-latch architectures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..boolean import Cover, Cube
+from ..stg.signals import Direction
+from .stategraph import StateGraph
+
+__all__ = [
+    "SignalRegions",
+    "excitation_region",
+    "quiescent_region",
+    "on_set_states",
+    "off_set_states",
+    "compute_regions",
+    "states_to_cover",
+    "dc_set_cover",
+]
+
+
+def excitation_region(graph: StateGraph, signal: str, direction: Direction) -> Set[int]:
+    """States where a transition ``signal``/``direction`` is enabled."""
+    return {
+        state
+        for state in range(graph.num_states)
+        if graph.is_excited(state, signal, direction)
+    }
+
+
+def quiescent_region(graph: StateGraph, signal: str, value: int) -> Set[int]:
+    """States where the signal is stable at ``value``."""
+    result: Set[int] = set()
+    direction = Direction.MINUS if value == 1 else Direction.PLUS
+    for state in range(graph.num_states):
+        if graph.signal_value(state, signal) != value:
+            continue
+        if not graph.is_excited(state, signal, direction):
+            result.add(state)
+    return result
+
+
+def on_set_states(graph: StateGraph, signal: str) -> Set[int]:
+    """States whose implied next value of the signal is 1."""
+    return {
+        state
+        for state in range(graph.num_states)
+        if graph.implied_value(state, signal) == 1
+    }
+
+
+def off_set_states(graph: StateGraph, signal: str) -> Set[int]:
+    """States whose implied next value of the signal is 0."""
+    return {
+        state
+        for state in range(graph.num_states)
+        if graph.implied_value(state, signal) == 0
+    }
+
+
+def states_to_cover(graph: StateGraph, states: Sequence[int]) -> Cover:
+    """Build the exact (minterm) cover of a set of states."""
+    nvars = len(graph.signals)
+    cubes = []
+    seen: Set[Tuple[int, ...]] = set()
+    for state in states:
+        code = graph.codes[state]
+        if code in seen:
+            continue
+        seen.add(code)
+        cubes.append(Cube.from_assignment(code))
+    return Cover(nvars, cubes)
+
+
+def dc_set_cover(graph: StateGraph) -> Cover:
+    """Cover of the unreachable binary codes (the don't-care set)."""
+    nvars = len(graph.signals)
+    reachable = Cover(
+        nvars, [Cube.from_assignment(code) for code in graph.reachable_codes()]
+    )
+    return reachable.complement()
+
+
+class SignalRegions:
+    """All regions of one signal, with covers ready for synthesis."""
+
+    def __init__(self, graph: StateGraph, signal: str) -> None:
+        self.graph = graph
+        self.signal = signal
+        self.er_plus = excitation_region(graph, signal, Direction.PLUS)
+        self.er_minus = excitation_region(graph, signal, Direction.MINUS)
+        self.qr_high = quiescent_region(graph, signal, 1)
+        self.qr_low = quiescent_region(graph, signal, 0)
+        self.on_states = self.er_plus | self.qr_high
+        self.off_states = self.er_minus | self.qr_low
+
+    @property
+    def on_cover(self) -> Cover:
+        """Exact cover of the on-set."""
+        return states_to_cover(self.graph, sorted(self.on_states))
+
+    @property
+    def off_cover(self) -> Cover:
+        """Exact cover of the off-set."""
+        return states_to_cover(self.graph, sorted(self.off_states))
+
+    @property
+    def set_cover(self) -> Cover:
+        """Exact cover of ER(a+), the set excitation function's on-set."""
+        return states_to_cover(self.graph, sorted(self.er_plus))
+
+    @property
+    def reset_cover(self) -> Cover:
+        """Exact cover of ER(a-), the reset excitation function's on-set."""
+        return states_to_cover(self.graph, sorted(self.er_minus))
+
+    def partition_is_complete(self) -> bool:
+        """Every reachable state is either in the on-set or the off-set."""
+        return (
+            self.on_states | self.off_states == set(range(self.graph.num_states))
+            and not (self.on_states & self.off_states)
+        )
+
+    def __repr__(self) -> str:
+        return "SignalRegions(%r, on=%d, off=%d, er+=%d, er-=%d)" % (
+            self.signal,
+            len(self.on_states),
+            len(self.off_states),
+            len(self.er_plus),
+            len(self.er_minus),
+        )
+
+
+def compute_regions(graph: StateGraph) -> Dict[str, SignalRegions]:
+    """Compute :class:`SignalRegions` for every implementable signal."""
+    return {
+        signal: SignalRegions(graph, signal)
+        for signal in graph.stg.implementable_signals
+    }

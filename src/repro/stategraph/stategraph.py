@@ -1,0 +1,212 @@
+"""State Graph (State Transition Diagram) construction.
+
+The State Graph of an STG is its reachability graph with a binary code
+attached to every reachable marking (Section 2.1).  It is the semantic
+object classic synthesis tools (SIS, Petrify) work on and the reference the
+unfolding-based method must agree with; in this reproduction it powers the
+"SIS-like" baseline and all ground-truth checks in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..petrinet import Marking, StateSpaceLimitExceeded
+from ..stg import STG, STGError
+from ..stg.signals import Direction
+
+__all__ = ["StateGraph", "InconsistentSTGError", "build_state_graph"]
+
+
+class InconsistentSTGError(STGError):
+    """Raised when the STG violates consistent state assignment."""
+
+
+class StateGraph:
+    """Reachability graph of an STG with binary codes.
+
+    Attributes
+    ----------
+    stg:
+        The source STG.
+    markings:
+        Reachable markings (index 0 is the initial one).
+    codes:
+        Binary code of every state, aligned with :attr:`markings`; codes are
+        tuples ordered like ``stg.signals``.
+    edges:
+        ``(source, transition, target)`` triples.
+    """
+
+    def __init__(self, stg: STG) -> None:
+        self.stg = stg
+        self.signals: List[str] = stg.signals
+        self.markings: List[Marking] = []
+        self.codes: List[Tuple[int, ...]] = []
+        self.edges: List[Tuple[int, str, int]] = []
+        self._index: Dict[Marking, int] = {}
+        self._successors: Dict[int, List[Tuple[str, int]]] = {}
+        self._predecessors: Dict[int, List[Tuple[str, int]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _add_state(self, marking: Marking, code: Tuple[int, ...]) -> int:
+        index = self._index.get(marking)
+        if index is not None:
+            return index
+        index = len(self.markings)
+        self.markings.append(marking)
+        self.codes.append(code)
+        self._index[marking] = index
+        self._successors[index] = []
+        self._predecessors[index] = []
+        return index
+
+    def _add_edge(self, source: int, transition: str, target: int) -> None:
+        self.edges.append((source, transition, target))
+        self._successors[source].append((transition, target))
+        self._predecessors[target].append((transition, source))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_states(self) -> int:
+        return len(self.markings)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def __len__(self) -> int:
+        return len(self.markings)
+
+    def index_of(self, marking: Marking) -> Optional[int]:
+        return self._index.get(marking)
+
+    def code_of(self, state: int) -> Tuple[int, ...]:
+        return self.codes[state]
+
+    def successors(self, state: int) -> List[Tuple[str, int]]:
+        return list(self._successors[state])
+
+    def predecessors(self, state: int) -> List[Tuple[str, int]]:
+        return list(self._predecessors[state])
+
+    def enabled_transitions(self, state: int) -> List[str]:
+        return [transition for transition, _target in self._successors[state]]
+
+    def signal_value(self, state: int, signal: str) -> int:
+        """Current binary value of a signal in a state."""
+        return self.codes[state][self.stg.signal_index(signal)]
+
+    def excited_signals(self, state: int) -> Set[str]:
+        """Signals with an enabled transition in the state."""
+        excited: Set[str] = set()
+        for transition, _target in self._successors[state]:
+            label = self.stg.label_of(transition)
+            if label is not None:
+                excited.add(label.signal)
+        return excited
+
+    def is_excited(self, state: int, signal: str, direction: Optional[Direction] = None) -> bool:
+        """True if a transition of ``signal`` (optionally of a specific
+        direction) is enabled in the state."""
+        for transition, _target in self._successors[state]:
+            label = self.stg.label_of(transition)
+            if label is None or label.signal != signal:
+                continue
+            if direction is None or label.direction is direction:
+                return True
+        return False
+
+    def implied_value(self, state: int, signal: str) -> int:
+        """Next-state (implied) value of a signal.
+
+        The implied value is 1 when the signal is excited to rise or stable
+        at 1, and 0 when it is excited to fall or stable at 0.  The on-set of
+        a signal is exactly the set of states whose implied value is 1.
+        """
+        value = self.signal_value(state, signal)
+        if value == 0:
+            return 1 if self.is_excited(state, signal, Direction.PLUS) else 0
+        return 0 if self.is_excited(state, signal, Direction.MINUS) else 1
+
+    def states_with_code(self, code: Sequence[int]) -> List[int]:
+        """All states carrying the given binary code."""
+        target = tuple(code)
+        return [i for i, c in enumerate(self.codes) if c == target]
+
+    def deadlock_states(self) -> List[int]:
+        return [i for i in range(self.num_states) if not self._successors[i]]
+
+    def reachable_codes(self) -> Set[Tuple[int, ...]]:
+        """The set of binary codes of reachable states."""
+        return set(self.codes)
+
+    def __repr__(self) -> str:
+        return "StateGraph(states=%d, edges=%d, signals=%d)" % (
+            self.num_states,
+            self.num_edges,
+            len(self.signals),
+        )
+
+
+def build_state_graph(
+    stg: STG,
+    max_states: Optional[int] = None,
+    check_consistency: bool = True,
+) -> StateGraph:
+    """Build the State Graph of an STG by breadth-first exploration.
+
+    Raises :class:`InconsistentSTGError` when the specification violates
+    consistent state assignment (unless ``check_consistency`` is False, in
+    which case the first code found for a marking is kept) and
+    :class:`StateSpaceLimitExceeded` when the optional state budget is hit.
+    """
+    if not stg.has_complete_initial_state():
+        stg.infer_initial_state()
+    graph = StateGraph(stg)
+    initial_code = stg.initial_code()
+    initial = stg.net.initial_marking
+    start = graph._add_state(initial, initial_code)
+    queue = deque([start])
+    visited: Set[int] = set()
+
+    while queue:
+        index = queue.popleft()
+        if index in visited:
+            continue
+        visited.add(index)
+        marking = graph.markings[index]
+        code = graph.codes[index]
+        for transition in stg.net.enabled_transitions(marking):
+            if check_consistency and not stg.code_consistent_with(code, transition):
+                label = stg.label_of(transition)
+                raise InconsistentSTGError(
+                    "inconsistent state assignment: %s enabled while %s = %d"
+                    % (transition, label.signal, label.target_value)
+                )
+            successor_marking = stg.net.fire(marking, transition)
+            successor_code = stg.next_code(code, transition)
+            existing = graph.index_of(successor_marking)
+            if existing is not None:
+                if check_consistency and graph.codes[existing] != successor_code:
+                    raise InconsistentSTGError(
+                        "marking %s reached with two different codes %s / %s"
+                        % (
+                            successor_marking,
+                            "".join(map(str, graph.codes[existing])),
+                            "".join(map(str, successor_code)),
+                        )
+                    )
+                target = existing
+            else:
+                target = graph._add_state(successor_marking, successor_code)
+                if max_states is not None and graph.num_states > max_states:
+                    raise StateSpaceLimitExceeded(max_states)
+                queue.append(target)
+            graph._add_edge(index, transition, target)
+    return graph

@@ -1,0 +1,394 @@
+"""STG generators: worked examples and scalable specifications.
+
+This module provides
+
+* :func:`paper_example` -- the three-signal STG of Figure 1 of the paper,
+  reconstructed from its State Graph; it is the worked example for which the
+  paper derives ``C_On(b) = a + c`` and ``C_Off(b) = a'c'``.
+* :func:`figure4_example` -- a seven-signal fork/join specification with the
+  same concurrency structure as the Figure 4 approximation example.
+* :func:`muller_pipeline` -- the scalable Muller-pipeline control used for
+  the Figure 6 experiment (a marked-graph STG whose State Graph grows
+  exponentially with the number of stages while the unfolding stays linear).
+* :func:`counterflow_pipeline` -- the 34-signal counterflow-pipeline stand-in
+  (two counter-directed pipelines), the "circled dot" of Figure 6.
+* :func:`parallel_handshake`, :func:`sequential_controller`,
+  :func:`choice_controller` -- deterministic synthetic controllers used to
+  stand in for benchmark files we do not have (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .signals import SignalType
+from .stg import STG, STGError
+
+__all__ = [
+    "paper_example",
+    "figure4_example",
+    "muller_pipeline",
+    "counterflow_pipeline",
+    "parallel_handshake",
+    "sequential_controller",
+    "choice_controller",
+    "csc_conflict_example",
+]
+
+
+def paper_example() -> STG:
+    """The STG of Figure 1 (signals ``a``, ``c`` inputs, ``b`` output).
+
+    The environment either raises ``a`` (leading to the concurrent branch
+    where ``b`` and ``c`` rise in either order) or raises ``c`` directly;
+    both branches rejoin through ``c-`` and ``b-``.  The State Graph has the
+    eight states of Figure 1(c) and the on-set cover of ``b`` minimises to
+    ``a + c``.
+    """
+    stg = STG("paper_example")
+    stg.add_signal("a", SignalType.INPUT, initial=0)
+    stg.add_signal("b", SignalType.OUTPUT, initial=0)
+    stg.add_signal("c", SignalType.INPUT, initial=0)
+
+    for place in ["p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8", "p9"]:
+        stg.add_place(place)
+
+    a_plus = stg.add_transition("a+")
+    a_minus = stg.add_transition("a-")
+    b_plus1 = stg.add_transition("b+")      # fires from p4 (choice branch)
+    b_plus2 = stg.add_transition("b+")      # fires from p2 (concurrent branch)
+    b_minus = stg.add_transition("b-")
+    c_plus1 = stg.add_transition("c+")      # fires from p1 (choice branch)
+    c_plus2 = stg.add_transition("c+")      # fires from p3 (concurrent branch)
+    c_minus = stg.add_transition("c-")
+
+    # Choice at p1 between a+ and c+.
+    stg.add_arc("p1", a_plus)
+    stg.add_arc("p1", c_plus1)
+    # a+ branch: a+ -> {p2, p3}; b+ from p2 -> p5; c+ from p3 -> {p6, p8};
+    # a- joins p5, p6 -> p7.
+    stg.add_arc(a_plus, "p2")
+    stg.add_arc(a_plus, "p3")
+    stg.add_arc("p2", b_plus2)
+    stg.add_arc(b_plus2, "p5")
+    stg.add_arc("p3", c_plus2)
+    stg.add_arc(c_plus2, "p6")
+    stg.add_arc(c_plus2, "p8")
+    stg.add_arc("p5", a_minus)
+    stg.add_arc("p6", a_minus)
+    stg.add_arc(a_minus, "p7")
+    # c+ branch: c+ -> p4; b+ from p4 -> {p7, p8}.
+    stg.add_arc(c_plus1, "p4")
+    stg.add_arc("p4", b_plus1)
+    stg.add_arc(b_plus1, "p7")
+    stg.add_arc(b_plus1, "p8")
+    # Rejoin: c- consumes {p7, p8} -> p9; b- consumes p9 -> p1.
+    stg.add_arc("p7", c_minus)
+    stg.add_arc("p8", c_minus)
+    stg.add_arc(c_minus, "p9")
+    stg.add_arc("p9", b_minus)
+    stg.add_arc(b_minus, "p1")
+
+    stg.set_marking(["p1"])
+    return stg
+
+
+def figure4_example() -> STG:
+    """A seven-signal fork/join STG with the Figure 4 concurrency structure.
+
+    ``a+`` forks into three concurrent two-signal chains (``d``/``g``,
+    ``b``/``c`` and ``e``/``f``); ``a-`` joins them, after which the chains
+    reset concurrently and the cycle restarts.  All signals except ``a`` are
+    outputs, so the cover-approximation machinery is exercised on slices with
+    several concurrent instances, exactly the situation Section 4.2 targets.
+    """
+    stg = STG("figure4_example")
+    stg.add_signal("a", SignalType.INPUT, initial=0)
+    for signal in ["b", "c", "d", "e", "f", "g"]:
+        stg.add_signal(signal, SignalType.OUTPUT, initial=0)
+
+    a_plus = stg.add_transition("a+")
+    a_minus = stg.add_transition("a-")
+    chain_heads = []
+    chain_tails = []
+    for first, second in [("d", "g"), ("b", "c"), ("e", "f")]:
+        first_plus = stg.add_transition(first + "+")
+        second_plus = stg.add_transition(second + "+")
+        first_minus = stg.add_transition(first + "-")
+        second_minus = stg.add_transition(second + "-")
+        stg.connect(a_plus, first_plus)
+        stg.connect(first_plus, second_plus)
+        stg.connect(second_plus, a_minus)
+        stg.connect(a_minus, first_minus)
+        stg.connect(first_minus, second_minus)
+        chain_heads.append(first_plus)
+        chain_tails.append(second_minus)
+
+    for tail in chain_tails:
+        stg.connect(tail, a_plus, place="<%s,a+>" % tail)
+    # Initially all the "reset completed" places carry a token so a+ is the
+    # first transition to fire.
+    stg.set_marking(["<%s,a+>" % tail for tail in chain_tails])
+    return stg
+
+
+def muller_pipeline(stages: int, name: Optional[str] = None) -> STG:
+    """The control STG of an ``stages``-deep Muller pipeline.
+
+    Signals: ``lreq`` (left environment request, input), ``c1 .. cN``
+    (C-element stage outputs) and ``rack`` (right environment acknowledge,
+    input), giving ``stages + 2`` signals in total.  For every stage the
+    rising transition requires the left neighbour to have risen and the right
+    neighbour to have fallen, and dually for the falling transition -- the
+    textbook Muller-pipeline marked graph.  The State Graph has
+    ``O(phi^stages)`` states while the unfolding segment grows linearly,
+    which is what Figure 6 of the paper demonstrates.
+    """
+    if stages < 1:
+        raise STGError("a Muller pipeline needs at least one stage")
+    stg = STG(name or ("muller_pipeline_%d" % stages))
+
+    names = ["lreq"] + ["c%d" % i for i in range(1, stages + 1)] + ["rack"]
+    stg.add_signal("lreq", SignalType.INPUT, initial=0)
+    for i in range(1, stages + 1):
+        stg.add_signal("c%d" % i, SignalType.OUTPUT, initial=0)
+    stg.add_signal("rack", SignalType.INPUT, initial=0)
+
+    plus: Dict[str, str] = {}
+    minus: Dict[str, str] = {}
+    for signal in names:
+        plus[signal] = stg.add_transition(signal + "+")
+        minus[signal] = stg.add_transition(signal + "-")
+
+    marked: List[str] = []
+
+    def link(source: str, target: str, token: bool = False) -> None:
+        place = stg.connect(source, target)
+        if token:
+            marked.append(place)
+
+    for index in range(len(names) - 1):
+        left = names[index]
+        right = names[index + 1]
+        # right+ waits for left+; left- waits for right+ (acknowledge);
+        # right- waits for left-; left+ waits for right- (initially granted).
+        link(plus[left], plus[right])
+        link(plus[right], minus[left])
+        link(minus[left], minus[right])
+        link(minus[right], plus[left], token=True)
+
+    stg.set_marking(marked)
+    return stg
+
+
+def counterflow_pipeline(
+    stages_per_direction: int = 15, name: Optional[str] = None
+) -> STG:
+    """A counterflow-pipeline style specification.
+
+    The paper's counterflow-pipeline controller (34 signals) is not publicly
+    available; as documented in DESIGN.md we substitute two counter-directed
+    Muller pipelines sharing the same specification -- the same scale and the
+    same "two interacting token streams" concurrency structure that defeats
+    SG-based tools.  With the default of 15 stages per direction the
+    specification has ``2 * (15 + 2) = 34`` signals, matching the paper.
+    """
+    stg = STG(name or "counterflow_pipeline")
+    directions = ("fwd", "bwd")
+    for direction in directions:
+        stg.add_signal("%s_req" % direction, SignalType.INPUT, initial=0)
+        for i in range(1, stages_per_direction + 1):
+            stg.add_signal("%s_c%d" % (direction, i), SignalType.OUTPUT, initial=0)
+        stg.add_signal("%s_ack" % direction, SignalType.INPUT, initial=0)
+
+    marked: List[str] = []
+    for direction in directions:
+        names = (
+            ["%s_req" % direction]
+            + ["%s_c%d" % (direction, i) for i in range(1, stages_per_direction + 1)]
+            + ["%s_ack" % direction]
+        )
+        plus = {s: stg.add_transition(s + "+") for s in names}
+        minus = {s: stg.add_transition(s + "-") for s in names}
+        for index in range(len(names) - 1):
+            left, right = names[index], names[index + 1]
+            marked_place = stg.connect(minus[right], plus[left])
+            marked.append(marked_place)
+            stg.connect(plus[left], plus[right])
+            stg.connect(plus[right], minus[left])
+            stg.connect(minus[left], minus[right])
+    stg.set_marking(marked)
+    return stg
+
+
+def parallel_handshake(
+    name: str,
+    chain_lengths: Sequence[int],
+    num_inputs: int = 1,
+) -> STG:
+    """A fork/join handshake controller with configurable concurrency.
+
+    A request signal rises, forks into ``len(chain_lengths)`` concurrent
+    chains of intermediate signals (chain ``i`` has ``chain_lengths[i]``
+    signals), which join into an acknowledge; the falling phase mirrors the
+    rising phase.  The resulting STG is a live, safe, consistent marked
+    graph satisfying CSC, which makes it a well-behaved synthetic stand-in
+    for handshake-controller benchmarks (see DESIGN.md).
+
+    Total signal count: ``2 + sum(chain_lengths)``.
+    """
+    if not chain_lengths:
+        raise STGError("at least one chain is required")
+    stg = STG(name)
+    stg.add_signal("req", SignalType.INPUT, initial=0)
+    signal_names: List[List[str]] = []
+    created = 0
+    for chain_index, length in enumerate(chain_lengths):
+        chain: List[str] = []
+        for position in range(length):
+            signal = "x%d_%d" % (chain_index, position)
+            signal_type = (
+                SignalType.INPUT if created < max(0, num_inputs - 1) else SignalType.OUTPUT
+            )
+            stg.add_signal(signal, signal_type, initial=0)
+            chain.append(signal)
+            created += 1
+        signal_names.append(chain)
+    stg.add_signal("ack", SignalType.OUTPUT, initial=0)
+
+    req_plus = stg.add_transition("req+")
+    req_minus = stg.add_transition("req-")
+    ack_plus = stg.add_transition("ack+")
+    ack_minus = stg.add_transition("ack-")
+
+    marked: List[str] = []
+    for chain in signal_names:
+        previous_plus = req_plus
+        previous_minus = req_minus
+        for signal in chain:
+            sig_plus = stg.add_transition(signal + "+")
+            sig_minus = stg.add_transition(signal + "-")
+            stg.connect(previous_plus, sig_plus)
+            stg.connect(previous_minus, sig_minus)
+            previous_plus = sig_plus
+            previous_minus = sig_minus
+        stg.connect(previous_plus, ack_plus)
+        stg.connect(previous_minus, ack_minus)
+    stg.connect(ack_plus, req_minus)
+    marked.append(stg.connect(ack_minus, req_plus))
+    stg.set_marking(marked)
+    return stg
+
+
+def sequential_controller(name: str, num_signals: int) -> STG:
+    """A purely sequential controller cycling through all signal changes.
+
+    Signal 0 is the input request; the remaining signals rise one after the
+    other and then fall one after the other.  Used as the smallest-possible
+    stand-in shape (no concurrency at all).
+    """
+    if num_signals < 2:
+        raise STGError("a sequential controller needs at least two signals")
+    stg = STG(name)
+    names = ["req"] + ["s%d" % i for i in range(1, num_signals)]
+    stg.add_signal("req", SignalType.INPUT, initial=0)
+    for signal in names[1:]:
+        stg.add_signal(signal, SignalType.OUTPUT, initial=0)
+
+    plus = [stg.add_transition(s + "+") for s in names]
+    minus = [stg.add_transition(s + "-") for s in names]
+    transitions = plus + minus
+    marked: List[str] = []
+    for index in range(len(transitions)):
+        nxt = (index + 1) % len(transitions)
+        place = stg.connect(transitions[index], transitions[nxt])
+        if nxt == 0:
+            marked.append(place)
+    stg.set_marking(marked)
+    return stg
+
+
+def choice_controller(name: str = "choice_controller") -> STG:
+    """A controller with input choice between two operating modes.
+
+    The environment raises either ``sel0`` or ``sel1``; the controller
+    answers with ``ack`` through a mode-specific internal signal and the
+    handshake retracts.  Exercises non-free-choice-free behaviour (a place
+    with two input-signal consumers), which the structural method of
+    Pastor et al. cannot handle but the unfolding-based method can.
+    """
+    stg = STG(name)
+    stg.add_signal("sel0", SignalType.INPUT, initial=0)
+    stg.add_signal("sel1", SignalType.INPUT, initial=0)
+    stg.add_signal("m0", SignalType.OUTPUT, initial=0)
+    stg.add_signal("m1", SignalType.OUTPUT, initial=0)
+    stg.add_signal("ack", SignalType.OUTPUT, initial=0)
+
+    idle = stg.add_place("idle", tokens=1)
+
+    sel0_plus = stg.add_transition("sel0+")
+    sel0_minus = stg.add_transition("sel0-")
+    sel1_plus = stg.add_transition("sel1+")
+    sel1_minus = stg.add_transition("sel1-")
+    m0_plus = stg.add_transition("m0+")
+    m0_minus = stg.add_transition("m0-")
+    m1_plus = stg.add_transition("m1+")
+    m1_minus = stg.add_transition("m1-")
+    ack_plus0 = stg.add_transition("ack+")
+    ack_plus1 = stg.add_transition("ack+")
+    ack_minus0 = stg.add_transition("ack-")
+    ack_minus1 = stg.add_transition("ack-")
+
+    # Mode 0: sel0+ m0+ ack+ sel0- m0- ack- -> idle
+    stg.add_arc(idle, sel0_plus)
+    stg.connect(sel0_plus, m0_plus)
+    stg.connect(m0_plus, ack_plus0)
+    stg.connect(ack_plus0, sel0_minus)
+    stg.connect(sel0_minus, m0_minus)
+    stg.connect(m0_minus, ack_minus0)
+    stg.add_arc(ack_minus0, idle)
+    # Mode 1: sel1+ m1+ ack+ sel1- m1- ack- -> idle
+    stg.add_arc(idle, sel1_plus)
+    stg.connect(sel1_plus, m1_plus)
+    stg.connect(m1_plus, ack_plus1)
+    stg.connect(ack_plus1, sel1_minus)
+    stg.connect(sel1_minus, m1_minus)
+    stg.connect(m1_minus, ack_minus1)
+    stg.add_arc(ack_minus1, idle)
+    return stg
+
+
+def csc_conflict_example(name: str = "csc_conflict") -> STG:
+    """A small STG with a Complete State Coding violation.
+
+    Behaviour: ``a+ x+ a- x- a+ y+ a- y-`` repeated.  The binary code
+    ``a=1, x=0, y=0`` is reached twice -- once with ``x+`` excited and once
+    with ``y+`` excited -- so two markings share a code but imply different
+    output behaviour.  No speed-independent implementation exists without
+    inserting state signals; the example exercises CSC detection (Section 2.1
+    and the refinement-failure path of Section 4.3).
+    """
+    stg = STG(name)
+    stg.add_signal("a", SignalType.INPUT, initial=0)
+    stg.add_signal("x", SignalType.OUTPUT, initial=0)
+    stg.add_signal("y", SignalType.OUTPUT, initial=0)
+
+    a_plus_1 = stg.add_transition("a+")
+    a_minus_1 = stg.add_transition("a-")
+    a_plus_2 = stg.add_transition("a+")
+    a_minus_2 = stg.add_transition("a-")
+    x_plus = stg.add_transition("x+")
+    x_minus = stg.add_transition("x-")
+    y_plus = stg.add_transition("y+")
+    y_minus = stg.add_transition("y-")
+
+    stg.connect(a_plus_1, x_plus)
+    stg.connect(x_plus, a_minus_1)
+    stg.connect(a_minus_1, x_minus)
+    stg.connect(x_minus, a_plus_2)
+    stg.connect(a_plus_2, y_plus)
+    stg.connect(y_plus, a_minus_2)
+    stg.connect(a_minus_2, y_minus)
+    marked = stg.connect(y_minus, a_plus_1)
+    stg.set_marking([marked])
+    return stg

@@ -1,0 +1,156 @@
+"""Signals and signal transitions.
+
+An STG labels Petri-net transitions with *signal transitions*: ``a+`` (signal
+``a`` rises) and ``a-`` (signal ``a`` falls).  Signals are partitioned into
+inputs (driven by the environment), outputs and internal signals (both driven
+by the circuit; both must be implemented).  Dummy transitions carry no signal
+change and are allowed for structuring specifications.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from typing import Optional, Tuple
+
+__all__ = ["SignalType", "Direction", "SignalTransition", "SignalError"]
+
+
+class SignalError(ValueError):
+    """Raised for malformed signal names or transition labels."""
+
+
+class SignalType(enum.Enum):
+    """Role of a signal in the specification."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INTERNAL = "internal"
+    DUMMY = "dummy"
+
+    @property
+    def is_implementable(self) -> bool:
+        """True for signals the circuit must implement (outputs + internals)."""
+        return self in (SignalType.OUTPUT, SignalType.INTERNAL)
+
+
+class Direction(enum.Enum):
+    """Direction of a signal change."""
+
+    PLUS = "+"
+    MINUS = "-"
+
+    @property
+    def opposite(self) -> "Direction":
+        return Direction.MINUS if self is Direction.PLUS else Direction.PLUS
+
+    @property
+    def target_value(self) -> int:
+        """Binary value of the signal after the change."""
+        return 1 if self is Direction.PLUS else 0
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_LABEL_RE = re.compile(r"^(?P<signal>[A-Za-z_][A-Za-z0-9_\.\[\]]*)(?P<dir>[+\-~])(?:/(?P<index>\d+))?$")
+
+
+class SignalTransition:
+    """A signal change, e.g. ``a+`` or ``req-/2``.
+
+    ``index`` distinguishes multiple occurrences of the same signal change in
+    a specification (the ``/k`` suffix of the ``.g`` format).
+    """
+
+    __slots__ = ("signal", "direction", "index")
+
+    def __init__(self, signal: str, direction: Direction, index: int = 0) -> None:
+        if not signal:
+            raise SignalError("signal name must be non-empty")
+        object.__setattr__(self, "signal", signal)
+        object.__setattr__(self, "direction", direction)
+        object.__setattr__(self, "index", index)
+
+    def __setattr__(self, name: str, value) -> None:  # pragma: no cover - guard
+        raise AttributeError("SignalTransition instances are immutable")
+
+    # ------------------------------------------------------------------ #
+    # Parsing / formatting
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def parse(cls, label: str) -> "SignalTransition":
+        """Parse labels of the form ``a+``, ``a-``, ``a+/2``."""
+        match = _LABEL_RE.match(label.strip())
+        if match is None:
+            raise SignalError("cannot parse signal transition label %r" % label)
+        direction_char = match.group("dir")
+        if direction_char == "~":
+            raise SignalError(
+                "toggle transitions (%r) are not supported; expand them to +/-"
+                % label
+            )
+        direction = Direction.PLUS if direction_char == "+" else Direction.MINUS
+        index = int(match.group("index") or 0)
+        return cls(match.group("signal"), direction, index)
+
+    def label(self, with_index: bool = True) -> str:
+        """Render the transition label; ``with_index=False`` drops ``/k``."""
+        base = "%s%s" % (self.signal, self.direction.value)
+        if with_index and self.index:
+            return "%s/%d" % (base, self.index)
+        return base
+
+    # ------------------------------------------------------------------ #
+    # Semantics helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def is_rising(self) -> bool:
+        return self.direction is Direction.PLUS
+
+    @property
+    def is_falling(self) -> bool:
+        return self.direction is Direction.MINUS
+
+    @property
+    def target_value(self) -> int:
+        """Value of the signal after this change."""
+        return self.direction.target_value
+
+    @property
+    def source_value(self) -> int:
+        """Value of the signal before this change (in a consistent STG)."""
+        return 1 - self.direction.target_value
+
+    def same_signal(self, other: "SignalTransition") -> bool:
+        """True if both transitions change the same signal."""
+        return self.signal == other.signal
+
+    def opposite(self, index: int = 0) -> "SignalTransition":
+        """The transition of the same signal in the opposite direction."""
+        return SignalTransition(self.signal, self.direction.opposite, index)
+
+    def with_index(self, index: int) -> "SignalTransition":
+        """Return a copy carrying a different occurrence index."""
+        return SignalTransition(self.signal, self.direction, index)
+
+    # ------------------------------------------------------------------ #
+    # Equality / hashing / presentation
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SignalTransition):
+            return NotImplemented
+        return (
+            self.signal == other.signal
+            and self.direction == other.direction
+            and self.index == other.index
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.signal, self.direction, self.index))
+
+    def __str__(self) -> str:
+        return self.label()
+
+    def __repr__(self) -> str:
+        return "SignalTransition(%r)" % self.label()

@@ -1,0 +1,39 @@
+"""Speed-independent circuit synthesis: baselines and the unfolding method."""
+
+from .netlist import Gate, Implementation
+from .cover_check import ImplementationCheck, covers_are_correct, verify_implementation
+from .sg_synthesis import SGSynthesisResult, synthesize_from_sg
+from .unfolding_exact import (
+    ExactUnfoldingSynthesisResult,
+    exact_signal_covers,
+    synthesize_exact_from_unfolding,
+)
+from .unfolding_approx import (
+    ApproxSignalCovers,
+    ApproxUnfoldingSynthesisResult,
+    CoverPart,
+    approximate_signal_covers,
+    synthesize_approx_from_unfolding,
+)
+from .synthesizer import METHODS, SynthesisResult, synthesize
+
+__all__ = [
+    "Gate",
+    "Implementation",
+    "ImplementationCheck",
+    "covers_are_correct",
+    "verify_implementation",
+    "SGSynthesisResult",
+    "synthesize_from_sg",
+    "ExactUnfoldingSynthesisResult",
+    "exact_signal_covers",
+    "synthesize_exact_from_unfolding",
+    "ApproxSignalCovers",
+    "ApproxUnfoldingSynthesisResult",
+    "CoverPart",
+    "approximate_signal_covers",
+    "synthesize_approx_from_unfolding",
+    "METHODS",
+    "SynthesisResult",
+    "synthesize",
+]

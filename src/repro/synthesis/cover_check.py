@@ -1,0 +1,135 @@
+"""Correctness checks for covers and finished implementations.
+
+Two kinds of check are provided:
+
+* the paper's cover-correctness condition (Definition 2.1, strengthened in
+  Section 4.3): the on- and off-set covers must not intersect, and each must
+  cover its exact set;
+* a ground-truth functional check of a finished implementation against the
+  State Graph: for every reachable state the gate of each signal must output
+  the signal's implied value.  The test-suite uses this to show that the
+  unfolding-based implementations are equivalent to the SG-based ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..boolean import Cover
+from ..stategraph import SignalRegions, StateGraph, build_state_graph
+from ..stg import STG
+from .netlist import Implementation
+
+__all__ = [
+    "covers_are_correct",
+    "ImplementationCheck",
+    "verify_implementation",
+]
+
+
+def covers_are_correct(
+    on_approx: Cover,
+    off_approx: Cover,
+    on_exact: Cover,
+    off_exact: Cover,
+) -> bool:
+    """Definition 2.1 with the stronger empty-intersection condition.
+
+    The approximated covers are correct when they cover the exact on- and
+    off-sets respectively and do not intersect each other.
+    """
+    if on_approx.intersects(off_approx):
+        return False
+    if not on_approx.contains_cover(on_exact):
+        return False
+    if not off_approx.contains_cover(off_exact):
+        return False
+    return True
+
+
+class ImplementationCheck:
+    """Result of verifying an implementation against the State Graph."""
+
+    def __init__(self, stg_name: str) -> None:
+        self.stg_name = stg_name
+        self.errors: List[str] = []
+        self.signals_checked = 0
+        self.states_checked = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __repr__(self) -> str:
+        return "ImplementationCheck(%r, ok=%s, errors=%d)" % (
+            self.stg_name,
+            self.ok,
+            len(self.errors),
+        )
+
+
+def verify_implementation(
+    stg: STG,
+    implementation: Implementation,
+    state_graph: Optional[StateGraph] = None,
+    max_errors: int = 20,
+) -> ImplementationCheck:
+    """Check that every gate computes the implied value in every state.
+
+    For the atomic-complex-gate architecture the gate output must equal the
+    implied (next-state) value of its signal in every reachable state; for
+    the C-element / RS-latch architectures the set (reset) function must be
+    true exactly when the signal is excited to rise (fall) and must never be
+    true in a state of the opposite polarity's stable region.
+    """
+    check = ImplementationCheck(stg.name)
+    graph = state_graph if state_graph is not None else build_state_graph(stg)
+
+    for signal, gate in implementation.gates.items():
+        check.signals_checked += 1
+        regions = SignalRegions(graph, signal)
+        for state in range(graph.num_states):
+            check.states_checked += 1
+            code = graph.codes[state]
+            implied = graph.implied_value(state, signal)
+            if gate.function is not None:
+                value = 1 if gate.function.evaluate_vector(code) else 0
+                if value != implied:
+                    check.errors.append(
+                        "signal %s: gate outputs %d but implied value is %d in state %s"
+                        % (signal, value, implied, "".join(map(str, code)))
+                    )
+            else:
+                set_value = gate.set_function.evaluate_vector(code)
+                reset_value = gate.reset_function.evaluate_vector(code)
+                if state in regions.er_plus and not set_value:
+                    check.errors.append(
+                        "signal %s: set function low in ER(+) state %s"
+                        % (signal, "".join(map(str, code)))
+                    )
+                if state in regions.er_minus and not reset_value:
+                    check.errors.append(
+                        "signal %s: reset function low in ER(-) state %s"
+                        % (signal, "".join(map(str, code)))
+                    )
+                if set_value and implied == 0 and code[graph.stg.signal_index(signal)] == 0:
+                    check.errors.append(
+                        "signal %s: set function high in off-set state %s"
+                        % (signal, "".join(map(str, code)))
+                    )
+                if reset_value and implied == 1 and code[graph.stg.signal_index(signal)] == 1:
+                    check.errors.append(
+                        "signal %s: reset function high in on-set state %s"
+                        % (signal, "".join(map(str, code)))
+                    )
+                if set_value and reset_value:
+                    check.errors.append(
+                        "signal %s: set and reset both high in state %s"
+                        % (signal, "".join(map(str, code)))
+                    )
+            if len(check.errors) >= max_errors:
+                return check
+    return check

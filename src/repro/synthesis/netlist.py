@@ -1,0 +1,152 @@
+"""Gate-level implementation model.
+
+The output of synthesis is one gate (or one memory element plus its
+excitation-function gates) per implementable signal.  The classes below hold
+the Boolean covers of those gates, compute the literal counts reported in
+Table 1 of the paper, and render human-readable equations / a simple
+structural netlist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..boolean import BooleanFunction, Cover
+
+__all__ = ["Gate", "Implementation"]
+
+
+class Gate:
+    """Implementation of a single output signal.
+
+    For the *atomic complex gate per signal* architecture only
+    :attr:`function` is populated (the gate computing the signal's next
+    value).  For the C-element and RS-latch architectures the
+    :attr:`set_function` / :attr:`reset_function` excitation functions are
+    populated as well and the literal count is taken from them.
+    """
+
+    def __init__(
+        self,
+        signal: str,
+        architecture: str,
+        function: Optional[BooleanFunction] = None,
+        set_function: Optional[BooleanFunction] = None,
+        reset_function: Optional[BooleanFunction] = None,
+    ) -> None:
+        self.signal = signal
+        self.architecture = architecture
+        self.function = function
+        self.set_function = set_function
+        self.reset_function = reset_function
+
+    @property
+    def literal_count(self) -> int:
+        """Number of literals of the gate (the Table 1 quality metric)."""
+        if self.architecture == "acg":
+            return self.function.literal_count if self.function else 0
+        total = 0
+        if self.set_function is not None:
+            total += self.set_function.literal_count
+        if self.reset_function is not None:
+            total += self.reset_function.literal_count
+        return total
+
+    def equations(self) -> List[str]:
+        """Human-readable equations implemented by the gate."""
+        lines = []
+        if self.function is not None:
+            lines.append("%s = %s" % (self.signal, self.function.to_expression()))
+        if self.set_function is not None:
+            lines.append("set(%s) = %s" % (self.signal, self.set_function.to_expression()))
+        if self.reset_function is not None:
+            lines.append(
+                "reset(%s) = %s" % (self.signal, self.reset_function.to_expression())
+            )
+        return lines
+
+    def __repr__(self) -> str:
+        return "Gate(%r, %s, literals=%d)" % (
+            self.signal,
+            self.architecture,
+            self.literal_count,
+        )
+
+
+class Implementation:
+    """A complete speed-independent implementation of an STG.
+
+    Attributes
+    ----------
+    stg_name:
+        Name of the synthesised specification.
+    architecture:
+        ``"acg"`` (atomic complex gate per signal), ``"c-element"`` or
+        ``"rs-latch"``.
+    signal_order:
+        Variable order shared by all gate covers.
+    gates:
+        One :class:`Gate` per implementable signal.
+    csc_conflicts:
+        Signals for which a Complete State Coding conflict prevented
+        implementation (their gates are missing).
+    """
+
+    def __init__(
+        self,
+        stg_name: str,
+        architecture: str,
+        signal_order: Sequence[str],
+    ) -> None:
+        self.stg_name = stg_name
+        self.architecture = architecture
+        self.signal_order: List[str] = list(signal_order)
+        self.gates: Dict[str, Gate] = {}
+        self.csc_conflicts: List[str] = []
+
+    def add_gate(self, gate: Gate) -> None:
+        self.gates[gate.signal] = gate
+
+    def gate_for(self, signal: str) -> Gate:
+        return self.gates[signal]
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates.values())
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    @property
+    def total_literals(self) -> int:
+        """Total literal count over all gates (Table 1 "LitCnt")."""
+        return sum(gate.literal_count for gate in self.gates.values())
+
+    @property
+    def has_csc_conflict(self) -> bool:
+        return bool(self.csc_conflicts)
+
+    def equations(self) -> List[str]:
+        """All gate equations, one string per line."""
+        lines: List[str] = []
+        for signal in sorted(self.gates):
+            lines.extend(self.gates[signal].equations())
+        return lines
+
+    def to_text(self) -> str:
+        """Render the implementation as a small report."""
+        lines = [
+            "# implementation of %s (%s architecture)" % (self.stg_name, self.architecture),
+            "# total literals: %d" % self.total_literals,
+        ]
+        if self.csc_conflicts:
+            lines.append("# CSC conflicts: %s" % ", ".join(sorted(self.csc_conflicts)))
+        lines.extend(self.equations())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "Implementation(%r, %s, gates=%d, literals=%d)" % (
+            self.stg_name,
+            self.architecture,
+            len(self.gates),
+            self.total_literals,
+        )

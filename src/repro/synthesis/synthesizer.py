@@ -1,0 +1,156 @@
+"""Unified synthesis entry point.
+
+``synthesize(stg, method=...)`` dispatches to one of the three flows and
+normalises their results into a single :class:`SynthesisResult` carrying the
+timing breakdown of Table 1 (UnfTim / SynTim / EspTim / TotTim), the literal
+count and diagnostic information.
+
+Methods
+-------
+``"unfolding-approx"``
+    The paper's contribution (PUNT ACG): STG-unfolding segment + cover
+    approximation + refinement.
+``"unfolding-exact"``
+    Exact state recovery from the segment (Section 4.1).
+``"sg-explicit"``
+    The SIS-like baseline: explicit State Graph + exact covers.
+``"sg-bdd"``
+    The Petrify-like baseline: symbolic (BDD) reachability + exact covers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..stg import STG
+from .netlist import Implementation
+from .sg_synthesis import synthesize_from_sg
+from .unfolding_approx import synthesize_approx_from_unfolding
+from .unfolding_exact import synthesize_exact_from_unfolding
+
+__all__ = ["SynthesisResult", "synthesize", "METHODS"]
+
+METHODS = ("unfolding-approx", "unfolding-exact", "sg-explicit", "sg-bdd")
+
+
+class SynthesisResult:
+    """Normalised result of any synthesis method.
+
+    Attributes
+    ----------
+    method:
+        One of :data:`METHODS`.
+    implementation:
+        The gate-level implementation.
+    unfold_time / cover_time / minimize_time:
+        The paper's UnfTim / SynTim / EspTim columns.  For the SG-based
+        methods ``unfold_time`` holds the state-graph construction time.
+    num_states:
+        Number of explicit states visited (SG methods) or recovered states /
+        segment events (unfolding methods) -- a size indicator for reports.
+    details:
+        The method-specific result object (kept for ablation studies).
+    """
+
+    def __init__(
+        self,
+        method: str,
+        implementation: Implementation,
+        unfold_time: float,
+        cover_time: float,
+        minimize_time: float,
+        num_states: int,
+        details: object,
+    ) -> None:
+        self.method = method
+        self.implementation = implementation
+        self.unfold_time = unfold_time
+        self.cover_time = cover_time
+        self.minimize_time = minimize_time
+        self.num_states = num_states
+        self.details = details
+
+    @property
+    def total_time(self) -> float:
+        return self.unfold_time + self.cover_time + self.minimize_time
+
+    @property
+    def literal_count(self) -> int:
+        return self.implementation.total_literals
+
+    def timing_row(self) -> Dict[str, float]:
+        """Timing breakdown in the shape of a Table 1 row."""
+        return {
+            "UnfTim": self.unfold_time,
+            "SynTim": self.cover_time,
+            "EspTim": self.minimize_time,
+            "TotTim": self.total_time,
+        }
+
+    def __repr__(self) -> str:
+        return "SynthesisResult(method=%r, literals=%d, total=%.3fs)" % (
+            self.method,
+            self.literal_count,
+            self.total_time,
+        )
+
+
+def synthesize(
+    stg: STG,
+    method: str = "unfolding-approx",
+    architecture: str = "acg",
+    raise_on_csc: bool = False,
+    max_states: Optional[int] = None,
+) -> SynthesisResult:
+    """Synthesise a speed-independent implementation of an STG.
+
+    See the module docstring for the available methods.  ``max_states``
+    bounds the explicit state exploration of the SG methods so experiments
+    can report "did not finish" instead of running out of memory.
+    """
+    if method not in METHODS:
+        raise ValueError("unknown synthesis method %r (choose from %s)" % (method, METHODS))
+
+    if method == "unfolding-approx":
+        result = synthesize_approx_from_unfolding(
+            stg, architecture=architecture, raise_on_csc=raise_on_csc
+        )
+        return SynthesisResult(
+            method,
+            result.implementation,
+            result.unfold_time,
+            result.cover_time,
+            result.minimize_time,
+            result.segment.num_events,
+            result,
+        )
+    if method == "unfolding-exact":
+        result = synthesize_exact_from_unfolding(
+            stg, architecture=architecture, raise_on_csc=raise_on_csc
+        )
+        return SynthesisResult(
+            method,
+            result.implementation,
+            result.unfold_time,
+            result.cover_time,
+            result.minimize_time,
+            result.num_recovered_states,
+            result,
+        )
+    engine = "bdd" if method == "sg-bdd" else "explicit"
+    result = synthesize_from_sg(
+        stg,
+        architecture=architecture,
+        engine=engine,
+        max_states=max_states,
+        raise_on_csc=raise_on_csc,
+    )
+    return SynthesisResult(
+        method,
+        result.implementation,
+        result.build_time,
+        result.cover_time,
+        result.minimize_time,
+        result.num_states,
+        result,
+    )

@@ -1,0 +1,467 @@
+"""Approximate synthesis from the STG-unfolding segment (Sections 4.2/4.3).
+
+This is the paper's main contribution.  For every implementable signal the
+on-set and off-set are approximated slice by slice without enumerating
+states:
+
+* the **excitation-region approximation** of a slice is the binary code of
+  the entry instance's minimal excitation cut with every signal that has a
+  concurrent instance inside the slice replaced by a don't-care;
+* the **marked-region approximations** cover the rest of the slice: one cube
+  per condition of the slice (sequential to the entry), again substituting
+  don't-cares for concurrent-in-slice signals; conditions feeding the *next*
+  instance of the signal get the restricted covers of the paper so that the
+  approximation does not bleed into the opposite excitation region.
+
+The approximations over-cover their slices by construction (no state is
+lost), so the only thing that can go wrong is that the on- and off-set
+approximations intersect.  When they do, the offending approximations are
+**refined**: following the paper's observation that complete refinement
+"restores the exact covers", the offending element's cube is replaced by the
+exact cover of the states of its slice in which the element is active
+(marked / enabled), obtained from a slice-local cut traversal.  If, after
+every offending element has been fully refined, the covers still intersect,
+the specification has a CSC conflict (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from ..boolean import BooleanFunction, Cover, Cube, espresso
+from ..stg import STG
+from ..unfolding import Condition, Event, Slice, UnfoldingSegment, off_slices, on_slices, unfold
+from .netlist import Gate, Implementation
+
+__all__ = [
+    "CoverPart",
+    "ApproxSignalCovers",
+    "approximate_signal_covers",
+    "ApproxUnfoldingSynthesisResult",
+    "synthesize_approx_from_unfolding",
+]
+
+Element = Union[Event, Condition]
+
+
+class CoverPart:
+    """One contribution to an approximated cover.
+
+    A part is either the excitation-region approximation of a slice (kind
+    ``"er"``, element = entry event) or the marked-region approximation of
+    one condition of the slice (kind ``"mr"``).
+    """
+
+    def __init__(self, kind: str, slice_: Slice, element: Element, cover: Cover) -> None:
+        self.kind = kind
+        self.slice = slice_
+        self.element = element
+        self.cover = cover
+        self.restricted = False
+        self.refined = False
+
+    def __repr__(self) -> str:
+        return "CoverPart(%s, %s, cubes=%d%s)" % (
+            self.kind,
+            self.element,
+            len(self.cover),
+            ", refined" if self.refined else "",
+        )
+
+
+class ApproxSignalCovers:
+    """Approximated (and possibly refined) covers of one signal."""
+
+    def __init__(
+        self,
+        signal: str,
+        on_parts: List[CoverPart],
+        off_parts: List[CoverPart],
+        nvars: int,
+    ) -> None:
+        self.signal = signal
+        self.on_parts = on_parts
+        self.off_parts = off_parts
+        self.nvars = nvars
+        self.refinement_rounds = 0
+        self.parts_refined = 0
+        self.csc_conflict = False
+
+    @property
+    def on_cover(self) -> Cover:
+        return _union_cover(self.nvars, self.on_parts)
+
+    @property
+    def off_cover(self) -> Cover:
+        return _union_cover(self.nvars, self.off_parts)
+
+    def __repr__(self) -> str:
+        return (
+            "ApproxSignalCovers(%r, on_parts=%d, off_parts=%d, rounds=%d, "
+            "refined=%d, csc=%s)"
+            % (
+                self.signal,
+                len(self.on_parts),
+                len(self.off_parts),
+                self.refinement_rounds,
+                self.parts_refined,
+                self.csc_conflict,
+            )
+        )
+
+
+def _union_cover(nvars: int, parts: Sequence[CoverPart]) -> Cover:
+    cover = Cover.empty(nvars)
+    for part in parts:
+        cover.extend(part.cover)
+    return cover.single_cube_containment()
+
+
+# ---------------------------------------------------------------------- #
+# Initial approximation (Section 4.2)
+# ---------------------------------------------------------------------- #
+def _cube_from_code(
+    stg: STG, code: Sequence[int], dont_care_signals: Set[str]
+) -> Cube:
+    values: List[Optional[int]] = []
+    for index, signal in enumerate(stg.signals):
+        values.append(None if signal in dont_care_signals else code[index])
+    return Cube.from_values(values)
+
+
+def _er_part(stg: STG, slice_: Slice) -> Optional[CoverPart]:
+    """Excitation-region cover approximation ``C*_e`` of a slice."""
+    entry = slice_.entry
+    if entry.is_bottom:
+        # The paper: the ER cover may be empty when the entry transition is
+        # the initial transition of the segment; the marked-region covers of
+        # the initial conditions take over.
+        return None
+    dont_care = slice_.concurrent_signals_with_event(entry)
+    dont_care.discard(slice_.signal)
+    cube = _cube_from_code(stg, slice_.min_code, dont_care)
+    return CoverPart("er", slice_, entry, Cover(len(stg.signals), [cube]))
+
+
+def _restricted_mr_cover(
+    stg: STG, slice_: Slice, condition: Condition, boundaries: Sequence[Event]
+) -> Cover:
+    """Marked-region approximation of a condition restricted by boundary events.
+
+    For every boundary event (an instance from ``next``) the returned cover
+    keeps at least one of the boundary's trigger signals at its pre-firing
+    value, so the cover cannot reach markings that enable the boundary.  This
+    is the paper's restricted-cover construction (Section 4.2), also reused
+    as the first refinement step (Section 4.3).
+    """
+    segment = slice_.segment
+    nvars = len(stg.signals)
+    producer = condition.producer
+    base_code = producer.code
+    base_config = segment.ancestors_of(producer)
+    cubes: List[Cube] = []
+    for boundary in boundaries:
+        # A trigger can only "hold the boundary back" if it is a labelled
+        # instance that has not yet fired at the state the base code
+        # describes; keeping its signal at the pre-firing value then excludes
+        # every marking that enables the boundary.
+        usable_triggers = [
+            c.producer
+            for c in boundary.preset
+            if c.producer is not producer
+            and c.producer.label is not None
+            and c.producer.eid not in base_config
+        ]
+        if usable_triggers:
+            for trigger in usable_triggers:
+                dont_care = slice_.concurrent_signals_with_condition(
+                    condition, exclude_events=[trigger]
+                )
+                dont_care.discard(slice_.signal)
+                cubes.append(_cube_from_code(stg, base_code, dont_care))
+            continue
+        # No usable trigger.  If every input condition of the boundary is
+        # already produced at the base state and can only be consumed by the
+        # boundary itself, then whenever this condition is marked the
+        # boundary is either enabled or has fired -- the condition cannot
+        # contribute any state of this phase and is dropped.  Otherwise keep
+        # the unrestricted cube (coverage first; refinement may tighten it).
+        always_enabled = all(
+            c.producer.eid in base_config and len(c.consumers) == 1
+            for c in boundary.preset
+        )
+        if not always_enabled:
+            dont_care = slice_.concurrent_signals_with_condition(condition)
+            dont_care.discard(slice_.signal)
+            cubes.append(_cube_from_code(stg, base_code, dont_care))
+    cover = Cover(nvars, [])
+    for cube in cubes:
+        cover.add(cube)
+    return cover
+
+
+def _mr_part(stg: STG, slice_: Slice, condition: Condition) -> CoverPart:
+    """Marked-region cover approximation ``C*_mr`` of one slice condition."""
+    nvars = len(stg.signals)
+    feeding = [g for g in slice_.next_events if condition in g.preset]
+    if not feeding:
+        dont_care = slice_.concurrent_signals_with_condition(condition)
+        dont_care.discard(slice_.signal)
+        cube = _cube_from_code(stg, condition.producer.code, dont_care)
+        return CoverPart("mr", slice_, condition, Cover(nvars, [cube]))
+    cover = _restricted_mr_cover(stg, slice_, condition, feeding)
+    return CoverPart("mr", slice_, condition, cover)
+
+
+def approximate_signal_covers(
+    segment: UnfoldingSegment, signal: str
+) -> ApproxSignalCovers:
+    """Build the initial on-/off-set cover approximations of a signal."""
+    stg = segment.stg
+    nvars = len(stg.signals)
+    on_parts: List[CoverPart] = []
+    off_parts: List[CoverPart] = []
+    for phase, target in ((1, on_parts), (0, off_parts)):
+        slices = on_slices(segment, signal) if phase == 1 else off_slices(segment, signal)
+        for slice_ in slices:
+            er = _er_part(stg, slice_)
+            if er is not None:
+                target.append(er)
+            for condition in slice_.member_conditions():
+                target.append(_mr_part(stg, slice_, condition))
+    return ApproxSignalCovers(signal, on_parts, off_parts, nvars)
+
+
+# ---------------------------------------------------------------------- #
+# Refinement (Section 4.3)
+# ---------------------------------------------------------------------- #
+def _element_active(segment: UnfoldingSegment, element: Element, cut_condition_ids: Set[int]) -> bool:
+    """True when the element 'holds' at a cut (condition marked / event enabled)."""
+    if isinstance(element, Condition):
+        return element.cid in cut_condition_ids
+    return all(condition.cid in cut_condition_ids for condition in element.preset)
+
+
+def _exact_part_cover(segment: UnfoldingSegment, part: CoverPart) -> Cover:
+    """Fully refined cover of a part: exact codes of the slice states where
+    the part's element is active and the signal has the slice's implied
+    value.  This is the limit of the paper's refinement procedure."""
+    stg = segment.stg
+    nvars = len(stg.signals)
+    slice_ = part.slice
+    index = stg.signal_index(slice_.signal)
+    codes: Set[Tuple[int, ...]] = set()
+    from ..unfolding.slices import _implied_value  # local import to avoid cycle
+
+    for cut in slice_.cuts():
+        cut_ids = {condition.cid for condition in cut.conditions}
+        if not _element_active(segment, part.element, cut_ids):
+            continue
+        if _implied_value(stg, cut.marking, cut.code, slice_.signal, index) != slice_.phase:
+            continue
+        codes.add(cut.code)
+    return Cover(nvars, [Cube.from_assignment(code) for code in sorted(codes)])
+
+
+def _restrict_part(segment: UnfoldingSegment, part: CoverPart) -> Cover:
+    """First refinement tier: apply the restricted-cover construction.
+
+    The offending part's cover is intersected with the restricted
+    marked-region cover of its own element with respect to *all* ``next``
+    instances of the slice.  This keeps, for every boundary instance, at
+    least one trigger signal at its pre-firing value, which removes the
+    states of the opposite excitation region from the approximation without
+    enumerating any cuts.
+    """
+    stg = segment.stg
+    slice_ = part.slice
+    if not slice_.next_events:
+        return part.cover
+    if not isinstance(part.element, Condition):
+        # Excitation-region parts are left untouched by this tier: the entry
+        # has not fired in any state they represent, so a boundary instance
+        # (which causally follows the entry) cannot be enabled there.
+        return part.cover
+    restricted = _restricted_mr_cover(stg, slice_, part.element, slice_.next_events)
+    if restricted.is_empty():
+        # The condition cannot contribute any state of this phase (every
+        # marking of it enables the boundary or lies past it); drop it.
+        return restricted
+    return part.cover.intersect(restricted).single_cube_containment()
+
+
+def refine_signal_covers(
+    segment: UnfoldingSegment,
+    covers: ApproxSignalCovers,
+    max_rounds: int = 50,
+) -> ApproxSignalCovers:
+    """Refine approximated covers until on/off intersection becomes empty.
+
+    Only the offending parts (those whose cubes intersect a cube of the
+    opposite cover) are refined, which is the locality argument of the paper.
+    Refinement proceeds in two tiers:
+
+    1. the cheap restricted-cover tier (no state enumeration), which removes
+       the opposite excitation region from the offending approximation;
+    2. full refinement of the still-offending parts: the part's cover is
+       replaced by the exact codes of the slice states where its element is
+       active -- the limit of the paper's iterative procedure.
+
+    When every offending part is fully refined and the covers still
+    intersect, the signal has a CSC conflict (Section 4.3).
+    """
+    for _round in range(max_rounds):
+        offending = _offending_parts(covers)
+        if not offending:
+            return covers
+        covers.refinement_rounds += 1
+        progressed = False
+        # Tier 1: restricted covers (cheap, no state enumeration).
+        for part in offending:
+            if part.restricted or part.refined:
+                continue
+            part.restricted = True
+            restricted = _restrict_part(segment, part)
+            if set(restricted.cubes) != set(part.cover.cubes):
+                part.cover = restricted
+                covers.parts_refined += 1
+                progressed = True
+        if progressed:
+            continue
+        # Tier 2: full refinement of the still-offending parts.
+        for part in offending:
+            if part.refined:
+                continue
+            part.cover = _exact_part_cover(segment, part)
+            part.refined = True
+            covers.parts_refined += 1
+            progressed = True
+        if not progressed:
+            covers.csc_conflict = True
+            return covers
+    covers.csc_conflict = bool(_offending_parts(covers))
+    return covers
+
+
+def _offending_parts(covers: ApproxSignalCovers) -> List[CoverPart]:
+    """Parts whose cover intersects some part of the opposite cover."""
+    offending: List[CoverPart] = []
+    for on_part in covers.on_parts:
+        for off_part in covers.off_parts:
+            if on_part.cover.intersects(off_part.cover):
+                if on_part not in offending:
+                    offending.append(on_part)
+                if off_part not in offending:
+                    offending.append(off_part)
+    return offending
+
+
+# ---------------------------------------------------------------------- #
+# Full synthesis flow
+# ---------------------------------------------------------------------- #
+class ApproxUnfoldingSynthesisResult:
+    """Implementation, timing breakdown and refinement statistics."""
+
+    def __init__(
+        self,
+        implementation: Implementation,
+        segment: UnfoldingSegment,
+        unfold_time: float,
+        cover_time: float,
+        minimize_time: float,
+        signal_covers: Dict[str, ApproxSignalCovers],
+    ) -> None:
+        self.implementation = implementation
+        self.segment = segment
+        self.unfold_time = unfold_time
+        self.cover_time = cover_time
+        self.minimize_time = minimize_time
+        self.signal_covers = signal_covers
+
+    @property
+    def total_time(self) -> float:
+        return self.unfold_time + self.cover_time + self.minimize_time
+
+    @property
+    def total_refinement_rounds(self) -> int:
+        return sum(c.refinement_rounds for c in self.signal_covers.values())
+
+    @property
+    def total_parts_refined(self) -> int:
+        return sum(c.parts_refined for c in self.signal_covers.values())
+
+    def __repr__(self) -> str:
+        return (
+            "ApproxUnfoldingSynthesisResult(literals=%d, total=%.3fs, "
+            "refined_parts=%d)"
+            % (
+                self.implementation.total_literals,
+                self.total_time,
+                self.total_parts_refined,
+            )
+        )
+
+
+def synthesize_approx_from_unfolding(
+    stg: STG,
+    segment: Optional[UnfoldingSegment] = None,
+    architecture: str = "acg",
+    raise_on_csc: bool = False,
+    max_refinement_rounds: int = 50,
+) -> ApproxUnfoldingSynthesisResult:
+    """Synthesise every implementable signal with the approximate method.
+
+    This is the flow the paper's PUNT-ACG column measures: unfolding
+    construction (``unfold_time``), cover approximation + refinement
+    (``cover_time``, the paper's "SynTim") and two-level minimisation
+    (``minimize_time``, the paper's "EspTim").
+    """
+    if architecture != "acg":
+        raise ValueError(
+            "the approximate flow implements the atomic-complex-gate-per-signal "
+            "architecture; use the exact or SG flows for %r" % architecture
+        )
+    t0 = time.perf_counter()
+    if segment is None:
+        segment = unfold(stg)
+    unfold_time = time.perf_counter() - t0
+
+    signals = stg.signals
+    implementation = Implementation(stg.name, architecture, signals)
+    signal_covers: Dict[str, ApproxSignalCovers] = {}
+    cover_time = 0.0
+    minimize_time = 0.0
+
+    for signal in stg.implementable_signals:
+        t1 = time.perf_counter()
+        covers = approximate_signal_covers(segment, signal)
+        covers = refine_signal_covers(segment, covers, max_rounds=max_refinement_rounds)
+        signal_covers[signal] = covers
+        cover_time += time.perf_counter() - t1
+
+        if covers.csc_conflict:
+            if raise_on_csc:
+                raise ValueError("CSC conflict on signal %r" % signal)
+            implementation.csc_conflicts.append(signal)
+            continue
+
+        t2 = time.perf_counter()
+        on_cover = covers.on_cover
+        off_cover = covers.off_cover
+        # Expansion is blocked by the off-set approximation directly; the
+        # (implicit) DC-set is everything outside the two approximations.
+        minimized = espresso(on_cover, off=off_cover).cover
+        minimize_time += time.perf_counter() - t2
+        implementation.add_gate(
+            Gate(signal, architecture, function=BooleanFunction(signals, minimized))
+        )
+
+    return ApproxUnfoldingSynthesisResult(
+        implementation=implementation,
+        segment=segment,
+        unfold_time=unfold_time,
+        cover_time=cover_time,
+        minimize_time=minimize_time,
+        signal_covers=signal_covers,
+    )

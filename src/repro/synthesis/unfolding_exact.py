@@ -1,0 +1,209 @@
+"""Exact synthesis from the STG-unfolding segment (Section 4.1).
+
+The exact path never builds the State Graph; it recovers binary states from
+the segment (every reachable state is the image of a cut of the segment) and
+derives the same covers an SG-based tool would.  The paper points out that
+this approach "may suffer from exponential explosion of states" -- it is the
+reference the approximate path (Section 4.2/4.3) is compared against, and it
+also serves as the safe fallback when refinement detects a CSC problem.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..boolean import BooleanFunction, Cover, Cube, espresso
+from ..petrinet import Marking
+from ..stg import STG
+from ..stg.signals import Direction
+from ..unfolding import UnfoldingSegment, reachable_states, unfold
+from .netlist import Gate, Implementation
+
+__all__ = [
+    "exact_signal_covers",
+    "ExactUnfoldingSynthesisResult",
+    "synthesize_exact_from_unfolding",
+]
+
+
+def _implied_value(stg: STG, marking: FrozenSet[str], code: Tuple[int, ...], signal: str) -> int:
+    """Implied (next-state) value of a signal at a recovered state."""
+    marking_obj = Marking.from_places(marking)
+    value = code[stg.signal_index(signal)]
+    wanted = Direction.MINUS if value == 1 else Direction.PLUS
+    for transition in stg.transitions_of_signal(signal):
+        label = stg.label_of(transition)
+        if label.direction is wanted and stg.net.is_enabled(marking_obj, transition):
+            return label.target_value
+    return value
+
+
+def exact_signal_covers(
+    segment: UnfoldingSegment,
+    signal: str,
+    states: Optional[Dict[FrozenSet[str], Tuple[int, ...]]] = None,
+) -> Tuple[Cover, Cover, bool]:
+    """Exact on/off covers of a signal recovered from the segment.
+
+    Returns ``(on_cover, off_cover, csc_conflict)``.  A CSC conflict is
+    present when the same binary code appears both in the on-set and in the
+    off-set (two markings share a code but imply different values).
+    """
+    stg = segment.stg
+    if states is None:
+        states = reachable_states(segment)
+    nvars = len(stg.signals)
+    on_codes: Set[Tuple[int, ...]] = set()
+    off_codes: Set[Tuple[int, ...]] = set()
+    for marking, code in states.items():
+        if _implied_value(stg, marking, code, signal) == 1:
+            on_codes.add(code)
+        else:
+            off_codes.add(code)
+    conflict = bool(on_codes & off_codes)
+    on_cover = Cover(nvars, [Cube.from_assignment(code) for code in sorted(on_codes)])
+    off_cover = Cover(nvars, [Cube.from_assignment(code) for code in sorted(off_codes)])
+    return on_cover, off_cover, conflict
+
+
+class ExactUnfoldingSynthesisResult:
+    """Implementation plus timing breakdown of the exact unfolding flow."""
+
+    def __init__(
+        self,
+        implementation: Implementation,
+        segment: UnfoldingSegment,
+        unfold_time: float,
+        cover_time: float,
+        minimize_time: float,
+        num_recovered_states: int,
+    ) -> None:
+        self.implementation = implementation
+        self.segment = segment
+        self.unfold_time = unfold_time
+        self.cover_time = cover_time
+        self.minimize_time = minimize_time
+        self.num_recovered_states = num_recovered_states
+
+    @property
+    def total_time(self) -> float:
+        return self.unfold_time + self.cover_time + self.minimize_time
+
+    def __repr__(self) -> str:
+        return "ExactUnfoldingSynthesisResult(states=%d, literals=%d, total=%.3fs)" % (
+            self.num_recovered_states,
+            self.implementation.total_literals,
+            self.total_time,
+        )
+
+
+def synthesize_exact_from_unfolding(
+    stg: STG,
+    segment: Optional[UnfoldingSegment] = None,
+    architecture: str = "acg",
+    raise_on_csc: bool = False,
+) -> ExactUnfoldingSynthesisResult:
+    """Synthesise every implementable signal by exact state recovery.
+
+    ``segment`` may be passed in when the caller already unfolded the STG
+    (e.g. because it was verified first); otherwise it is built here and its
+    construction time is reported as ``unfold_time``.
+    """
+    t0 = time.perf_counter()
+    if segment is None:
+        segment = unfold(stg)
+    unfold_time = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    states = reachable_states(segment)
+    signals = stg.signals
+    per_signal: Dict[str, Tuple[Cover, Cover, bool]] = {}
+    for signal in stg.implementable_signals:
+        per_signal[signal] = exact_signal_covers(segment, signal, states)
+    cover_time = time.perf_counter() - t1
+
+    implementation = Implementation(stg.name, architecture, signals)
+    t2 = time.perf_counter()
+    for signal, (on_cover, off_cover, conflict) in per_signal.items():
+        if conflict:
+            if raise_on_csc:
+                raise ValueError("CSC conflict on signal %r" % signal)
+            implementation.csc_conflicts.append(signal)
+            continue
+        dc = on_cover.union(off_cover).complement()
+        if architecture == "acg":
+            minimized = espresso(on_cover, dc).cover
+            gate = Gate(signal, architecture, function=BooleanFunction(signals, minimized))
+        else:
+            set_on, reset_on = _excitation_covers(segment, signal, states)
+            set_dc = dc.union(_quiescent_cover(segment, signal, states, 1))
+            reset_dc = dc.union(_quiescent_cover(segment, signal, states, 0))
+            gate = Gate(
+                signal,
+                architecture,
+                set_function=BooleanFunction(signals, espresso(set_on, set_dc).cover),
+                reset_function=BooleanFunction(signals, espresso(reset_on, reset_dc).cover),
+            )
+        implementation.add_gate(gate)
+    minimize_time = time.perf_counter() - t2
+
+    return ExactUnfoldingSynthesisResult(
+        implementation=implementation,
+        segment=segment,
+        unfold_time=unfold_time,
+        cover_time=cover_time,
+        minimize_time=minimize_time,
+        num_recovered_states=len(states),
+    )
+
+
+def _excitation_covers(
+    segment: UnfoldingSegment,
+    signal: str,
+    states: Dict[FrozenSet[str], Tuple[int, ...]],
+) -> Tuple[Cover, Cover]:
+    """Exact covers of ER(a+) and ER(a-) recovered from the segment."""
+    stg = segment.stg
+    nvars = len(stg.signals)
+    plus_codes: Set[Tuple[int, ...]] = set()
+    minus_codes: Set[Tuple[int, ...]] = set()
+    for marking, code in states.items():
+        marking_obj = Marking.from_places(marking)
+        for transition in stg.transitions_of_signal(signal):
+            if not stg.net.is_enabled(marking_obj, transition):
+                continue
+            label = stg.label_of(transition)
+            if label.direction is Direction.PLUS:
+                plus_codes.add(code)
+            else:
+                minus_codes.add(code)
+    return (
+        Cover(nvars, [Cube.from_assignment(c) for c in sorted(plus_codes)]),
+        Cover(nvars, [Cube.from_assignment(c) for c in sorted(minus_codes)]),
+    )
+
+
+def _quiescent_cover(
+    segment: UnfoldingSegment,
+    signal: str,
+    states: Dict[FrozenSet[str], Tuple[int, ...]],
+    value: int,
+) -> Cover:
+    """Cover of the states where the signal is stable at ``value``."""
+    stg = segment.stg
+    nvars = len(stg.signals)
+    index = stg.signal_index(signal)
+    wanted = Direction.MINUS if value == 1 else Direction.PLUS
+    codes: Set[Tuple[int, ...]] = set()
+    for marking, code in states.items():
+        if code[index] != value:
+            continue
+        marking_obj = Marking.from_places(marking)
+        excited = any(
+            stg.label_of(t).direction is wanted and stg.net.is_enabled(marking_obj, t)
+            for t in stg.transitions_of_signal(signal)
+        )
+        if not excited:
+            codes.add(code)
+    return Cover(nvars, [Cube.from_assignment(c) for c in sorted(codes)])

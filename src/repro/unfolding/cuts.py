@@ -1,0 +1,129 @@
+"""Cuts of the STG-unfolding segment and state recovery.
+
+A *cut* is a maximal set of pairwise-concurrent conditions; every cut maps
+onto a reachable marking of the STG and -- because the segment is complete --
+every reachable marking is the image of at least one cut (Section 3.2).
+This module walks the cuts of a finished segment, which is how the *exact*
+synthesis path of the paper (Section 4.1) recovers binary states without
+ever building the State Graph explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .occurrence_net import Condition, Event
+from .unfolder import UnfoldingSegment
+
+__all__ = ["Cut", "initial_cut", "enumerate_cuts", "reachable_states", "cut_enables"]
+
+
+class Cut:
+    """A cut together with its marking and binary code."""
+
+    __slots__ = ("conditions", "marking", "code")
+
+    def __init__(
+        self,
+        conditions: Tuple[Condition, ...],
+        marking: FrozenSet[str],
+        code: Tuple[int, ...],
+    ) -> None:
+        self.conditions = conditions
+        self.marking = marking
+        self.code = code
+
+    @property
+    def key(self) -> FrozenSet[int]:
+        """Canonical identity of the cut (condition ids)."""
+        return frozenset(condition.cid for condition in self.conditions)
+
+    def __repr__(self) -> str:
+        return "Cut(%s, code=%s)" % (
+            sorted(condition.place for condition in self.conditions),
+            "".join(map(str, self.code)),
+        )
+
+
+def initial_cut(segment: UnfoldingSegment) -> Cut:
+    """The cut reached by the bottom event (the initial state)."""
+    conditions = tuple(segment.bottom.postset)
+    return Cut(
+        conditions,
+        frozenset(c.place for c in conditions),
+        segment.initial_code,
+    )
+
+
+def cut_enables(segment: UnfoldingSegment, cut_conditions: Set[int], event: Event) -> bool:
+    """True if every input condition of the event belongs to the cut."""
+    return all(condition.cid in cut_conditions for condition in event.preset)
+
+
+def enumerate_cuts(
+    segment: UnfoldingSegment,
+    allowed_events: Optional[Set[int]] = None,
+    start: Optional[Cut] = None,
+    max_cuts: Optional[int] = None,
+) -> Iterator[Cut]:
+    """Breadth-first enumeration of the cuts of the segment.
+
+    Parameters
+    ----------
+    allowed_events:
+        When given, only events with these ids are fired (used by the slice
+        machinery to stay inside a slice).
+    start:
+        Starting cut; defaults to the initial cut.
+    max_cuts:
+        Optional safety bound.
+    """
+    first = start if start is not None else initial_cut(segment)
+    queue = deque([first])
+    seen: Set[FrozenSet[int]] = {first.key}
+    produced = 0
+    while queue:
+        cut = queue.popleft()
+        yield cut
+        produced += 1
+        if max_cuts is not None and produced >= max_cuts:
+            return
+        cut_ids = {condition.cid for condition in cut.conditions}
+        for condition in cut.conditions:
+            for event in condition.consumers:
+                if allowed_events is not None and event.eid not in allowed_events:
+                    continue
+                if not cut_enables(segment, cut_ids, event):
+                    continue
+                successor = _fire(segment, cut, event)
+                if successor.key not in seen:
+                    seen.add(successor.key)
+                    queue.append(successor)
+
+
+def _fire(segment: UnfoldingSegment, cut: Cut, event: Event) -> Cut:
+    """Fire a segment event from a cut, producing the successor cut."""
+    removed = {condition.cid for condition in event.preset}
+    conditions = tuple(
+        condition for condition in cut.conditions if condition.cid not in removed
+    ) + tuple(event.postset)
+    marking = frozenset(condition.place for condition in conditions)
+    code = list(cut.code)
+    if event.label is not None:
+        code[segment.stg.signal_index(event.label.signal)] = event.label.target_value
+    return Cut(conditions, marking, tuple(code))
+
+
+def reachable_states(
+    segment: UnfoldingSegment, max_cuts: Optional[int] = None
+) -> Dict[FrozenSet[str], Tuple[int, ...]]:
+    """Recover the reachable (marking, code) pairs from the segment.
+
+    By the completeness of the segment this is exactly the state set of the
+    State Graph; it is the ground truth the exact synthesis path works from.
+    """
+    states: Dict[FrozenSet[str], Tuple[int, ...]] = {}
+    for cut in enumerate_cuts(segment, max_cuts=max_cuts):
+        states.setdefault(cut.marking, cut.code)
+    return states

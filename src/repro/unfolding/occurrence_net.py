@@ -1,0 +1,340 @@
+"""Occurrence nets: the structural backbone of STG-unfolding segments.
+
+An occurrence net is an acyclic Petri net in which every place (here called a
+*condition*) has at most one producer.  The STG-unfolding segment is an
+occurrence net whose conditions/events are labelled with places/transitions
+of the original STG; structural relations between its nodes -- causality,
+conflict and concurrency -- are what the synthesis algorithms of the paper
+operate on instead of the exponential State Graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..stg.signals import SignalTransition
+
+__all__ = ["Condition", "Event", "OccurrenceNet"]
+
+
+class Condition:
+    """A place instance (condition) of the occurrence net.
+
+    Attributes
+    ----------
+    cid:
+        Dense integer identifier.
+    place:
+        Name of the original STG place this condition is an instance of.
+    producer:
+        The event that created the condition (the bottom event for initial
+        conditions).
+    consumers:
+        Events consuming the condition (several only when the original net
+        has choice).
+    """
+
+    __slots__ = ("cid", "place", "producer", "consumers")
+
+    def __init__(self, cid: int, place: str, producer: "Event") -> None:
+        self.cid = cid
+        self.place = place
+        self.producer = producer
+        self.consumers: List["Event"] = []
+
+    def __repr__(self) -> str:
+        return "Condition(%d, %s)" % (self.cid, self.place)
+
+    def __hash__(self) -> int:
+        return self.cid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class Event:
+    """A transition instance (event) of the occurrence net.
+
+    Attributes
+    ----------
+    eid:
+        Dense integer identifier; the *bottom* event has id 0.
+    transition:
+        Name of the original STG transition (``None`` for the bottom event).
+    label:
+        The signal transition labelling the instance (``None`` for dummies
+        and for the bottom event).
+    preset / postset:
+        Input and output conditions.
+    local_config:
+        Frozen set of event ids of the local configuration ``[e]`` (always
+        includes the event itself and the bottom event).
+    code:
+        Binary code reached by firing ``[e]`` from the initial state
+        (the paper's ``sigma_[e]``).
+    marking:
+        Final state of ``[e]`` mapped back onto original places.
+    is_cutoff:
+        True when the event was declared a cutoff by the unfolder.
+    """
+
+    __slots__ = (
+        "eid",
+        "transition",
+        "label",
+        "preset",
+        "postset",
+        "local_config",
+        "code",
+        "marking",
+        "is_cutoff",
+    )
+
+    def __init__(
+        self,
+        eid: int,
+        transition: Optional[str],
+        label: Optional[SignalTransition],
+        preset: Sequence[Condition],
+    ) -> None:
+        self.eid = eid
+        self.transition = transition
+        self.label = label
+        self.preset: Tuple[Condition, ...] = tuple(preset)
+        self.postset: Tuple[Condition, ...] = ()
+        self.local_config: FrozenSet[int] = frozenset()
+        self.code: Tuple[int, ...] = ()
+        self.marking: FrozenSet[str] = frozenset()
+        self.is_cutoff = False
+
+    @property
+    def is_bottom(self) -> bool:
+        """True for the virtual initial transition (the paper's ``bottom``)."""
+        return self.eid == 0
+
+    @property
+    def size(self) -> int:
+        """Size of the local configuration (used by the McMillan order)."""
+        return len(self.local_config)
+
+    def __repr__(self) -> str:
+        name = self.transition if self.transition is not None else "<bottom>"
+        return "Event(%d, %s%s)" % (self.eid, name, ", cutoff" if self.is_cutoff else "")
+
+    def __hash__(self) -> int:
+        return self.eid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class OccurrenceNet:
+    """Container for conditions and events plus the derived relations.
+
+    The relations are computed lazily and cached:
+
+    * *causality* ``x <= y``: ``x`` is in the causal past of ``y``;
+    * *conflict* ``x # y``: the local configurations contain distinct events
+      sharing an input condition;
+    * *concurrency* ``x co y``: neither ordered nor in conflict.
+
+    All three are exposed for events and for conditions (a condition is
+    identified with its producer event plus itself).
+    """
+
+    def __init__(self) -> None:
+        self.conditions: List[Condition] = []
+        self.events: List[Event] = []
+        # Cached per-event ancestor sets (event ids, including self).
+        self._ancestors: Dict[int, FrozenSet[int]] = {}
+        self._conflict_cache: Dict[Tuple[int, int], bool] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction (used by the unfolder)
+    # ------------------------------------------------------------------ #
+    def new_condition(self, place: str, producer: Event) -> Condition:
+        condition = Condition(len(self.conditions), place, producer)
+        self.conditions.append(condition)
+        return condition
+
+    def new_event(
+        self,
+        transition: Optional[str],
+        label: Optional[SignalTransition],
+        preset: Sequence[Condition],
+    ) -> Event:
+        event = Event(len(self.events), transition, label, preset)
+        self.events.append(event)
+        for condition in preset:
+            condition.consumers.append(event)
+        return event
+
+    def attach_postset(self, event: Event, places: Iterable[str]) -> List[Condition]:
+        postset = [self.new_condition(place, event) for place in places]
+        event.postset = tuple(postset)
+        return postset
+
+    # ------------------------------------------------------------------ #
+    # Size / lookup
+    # ------------------------------------------------------------------ #
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+    @property
+    def num_conditions(self) -> int:
+        return len(self.conditions)
+
+    @property
+    def bottom(self) -> Event:
+        """The virtual initial event."""
+        return self.events[0]
+
+    def non_bottom_events(self) -> List[Event]:
+        return self.events[1:]
+
+    def events_of_transition(self, transition: str) -> List[Event]:
+        return [e for e in self.events if e.transition == transition]
+
+    def events_of_signal(self, signal: str) -> List[Event]:
+        return [e for e in self.events if e.label is not None and e.label.signal == signal]
+
+    # ------------------------------------------------------------------ #
+    # Causality
+    # ------------------------------------------------------------------ #
+    def ancestors_of(self, event: Event) -> FrozenSet[int]:
+        """Event ids of the local configuration ``[e]`` (cached)."""
+        cached = self._ancestors.get(event.eid)
+        if cached is not None:
+            return cached
+        result: Set[int] = {event.eid}
+        for condition in event.preset:
+            result |= self.ancestors_of(condition.producer)
+        frozen = frozenset(result)
+        self._ancestors[event.eid] = frozen
+        return frozen
+
+    def precedes(self, earlier: Event, later: Event) -> bool:
+        """Causality on events: ``earlier <= later``."""
+        return earlier.eid in self.ancestors_of(later)
+
+    def strictly_precedes(self, earlier: Event, later: Event) -> bool:
+        return earlier.eid != later.eid and self.precedes(earlier, later)
+
+    def condition_precedes_event(self, condition: Condition, event: Event) -> bool:
+        """True when the condition is in the causal past of the event.
+
+        A condition precedes an event when one of its consumers is an
+        ancestor of the event, or when it is an input condition of the event
+        itself.
+        """
+        if condition in event.preset:
+            return True
+        ancestors = self.ancestors_of(event)
+        return any(consumer.eid in ancestors for consumer in condition.consumers)
+
+    def event_precedes_condition(self, event: Event, condition: Condition) -> bool:
+        """True when the event is in the causal past of the condition."""
+        return self.precedes(event, condition.producer)
+
+    # ------------------------------------------------------------------ #
+    # Conflict
+    # ------------------------------------------------------------------ #
+    def in_conflict(self, left: Event, right: Event) -> bool:
+        """Structural conflict between two events."""
+        if left.eid == right.eid:
+            return False
+        key = (min(left.eid, right.eid), max(left.eid, right.eid))
+        cached = self._conflict_cache.get(key)
+        if cached is not None:
+            return cached
+        left_config = self.ancestors_of(left)
+        right_config = self.ancestors_of(right)
+        result = self._configs_in_conflict(left_config, right_config)
+        self._conflict_cache[key] = result
+        return result
+
+    def _configs_in_conflict(
+        self, left_config: FrozenSet[int], right_config: FrozenSet[int]
+    ) -> bool:
+        for eid in left_config:
+            event = self.events[eid]
+            for condition in event.preset:
+                for consumer in condition.consumers:
+                    if consumer.eid != eid and consumer.eid in right_config:
+                        return True
+        for eid in right_config:
+            event = self.events[eid]
+            for condition in event.preset:
+                for consumer in condition.consumers:
+                    if consumer.eid != eid and consumer.eid in left_config:
+                        return True
+        return False
+
+    def conditions_in_conflict(self, left: Condition, right: Condition) -> bool:
+        """Conflict between two conditions (via their producers)."""
+        return self.in_conflict(left.producer, right.producer)
+
+    # ------------------------------------------------------------------ #
+    # Concurrency
+    # ------------------------------------------------------------------ #
+    def concurrent_events(self, left: Event, right: Event) -> bool:
+        """``left co right``: unordered and conflict-free."""
+        if left.eid == right.eid:
+            return False
+        if self.precedes(left, right) or self.precedes(right, left):
+            return False
+        return not self.in_conflict(left, right)
+
+    def concurrent_conditions(self, left: Condition, right: Condition) -> bool:
+        """Concurrency between two conditions.
+
+        Conditions are concurrent when neither is consumed on the causal path
+        to the other and their producers are conflict-free; this is the
+        standard *co* relation used to identify cuts.
+        """
+        if left is right:
+            return False
+        if self.in_conflict(left.producer, right.producer):
+            return False
+        if self._condition_before(left, right) or self._condition_before(right, left):
+            return False
+        return True
+
+    def _condition_before(self, first: Condition, second: Condition) -> bool:
+        """True when ``first`` must be consumed before ``second`` appears."""
+        producer = second.producer
+        if first in producer.preset:
+            return True
+        ancestors = self.ancestors_of(producer)
+        return any(consumer.eid in ancestors for consumer in first.consumers)
+
+    def concurrent_event_condition(self, event: Event, condition: Condition) -> bool:
+        """Concurrency between an event and a condition."""
+        if self.in_conflict(event, condition.producer):
+            return False
+        # condition before event?
+        if self.condition_precedes_event(condition, event):
+            return False
+        # event before condition?
+        if self.event_precedes_condition(event, condition):
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Co-sets
+    # ------------------------------------------------------------------ #
+    def is_coset(self, conditions: Sequence[Condition]) -> bool:
+        """True when all conditions are pairwise concurrent."""
+        items = list(conditions)
+        for index, left in enumerate(items):
+            for right in items[index + 1:]:
+                if not self.concurrent_conditions(left, right):
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        return "OccurrenceNet(events=%d, conditions=%d)" % (
+            self.num_events,
+            self.num_conditions,
+        )

@@ -1,0 +1,81 @@
+"""Semi-modularity (output persistency) check on the unfolding segment.
+
+The paper notes that the last general correctness criterion, semi-modularity,
+"can be checked on the STG-unfolding segment in linear time" (Section 3.1).
+The check below walks the conditions of the segment once: an output-signal
+event ``e`` can be disabled by another event ``f`` only if the two share an
+input condition; the disabling is actually reachable exactly when the union
+of their presets is a co-set (every co-set of an occurrence net is part of a
+reachable cut).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from .occurrence_net import Condition, Event
+from .unfolder import UnfoldingSegment
+
+__all__ = ["SemimodularityViolation", "check_semimodularity"]
+
+
+class SemimodularityViolation:
+    """An output event that can be disabled by a different signal's event."""
+
+    def __init__(self, disabled: Event, by: Event, shared: Condition) -> None:
+        self.disabled = disabled
+        self.by = by
+        self.shared = shared
+
+    def __repr__(self) -> str:
+        return "SemimodularityViolation(%s disabled by %s via %s)" % (
+            self.disabled,
+            self.by,
+            self.shared,
+        )
+
+
+def check_semimodularity(segment: UnfoldingSegment) -> List[SemimodularityViolation]:
+    """Return all output-persistency violations visible in the segment.
+
+    An empty result means the specification is semi-modular with respect to
+    its output and internal signals (input choice is allowed).
+    """
+    stg = segment.stg
+    implementable = set(stg.implementable_signals)
+    violations: List[SemimodularityViolation] = []
+    reported: Set[Tuple[int, int]] = set()
+
+    for condition in segment.conditions:
+        consumers = condition.consumers
+        if len(consumers) < 2:
+            continue
+        for event in consumers:
+            if event.label is None or event.label.signal not in implementable:
+                continue
+            for other in consumers:
+                if other is event:
+                    continue
+                if other.label is not None and other.label.signal == event.label.signal:
+                    # A choice between instances of the same signal does not
+                    # break persistency of that signal.
+                    continue
+                key = (event.eid, other.eid)
+                if key in reported:
+                    continue
+                union = list(dict.fromkeys(list(event.preset) + list(other.preset)))
+                if _is_reachable_coset(segment, union):
+                    reported.add(key)
+                    violations.append(
+                        SemimodularityViolation(event, other, condition)
+                    )
+    return violations
+
+
+def _is_reachable_coset(segment: UnfoldingSegment, conditions: List[Condition]) -> bool:
+    """True when the given conditions can all hold tokens simultaneously."""
+    for index, left in enumerate(conditions):
+        for right in conditions[index + 1:]:
+            if not segment.concurrent_conditions(left, right):
+                return False
+    return True

@@ -1,0 +1,243 @@
+"""Slices of the STG-unfolding segment (Section 3.3 of the paper).
+
+A slice ``S = <c_min, C_max>`` represents a connected set of reachable
+states: everything between one min-cut and a set of max-cuts.  Synthesis
+uses one slice per signal-transition instance:
+
+* for signal ``a``, every instance of ``a+`` (plus the bottom event when the
+  signal starts at 1) is the *entry* of an on-set slice that runs from the
+  instance's minimal excitation cut up to (but excluding) the states where
+  the following ``a-`` instance becomes excited;
+* off-set slices are defined symmetrically from ``a-`` instances.
+
+The class below stores the entry event, the ``next`` instances bounding the
+slice, and the membership sets (events/conditions belonging to the slice)
+that drive both the exact state enumeration (Section 4.1) and the
+concurrency-based cover approximation (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..stg.signals import Direction
+from .cuts import Cut, enumerate_cuts
+from .occurrence_net import Condition, Event
+from .unfolder import UnfoldingSegment
+
+__all__ = ["Slice", "on_slices", "off_slices", "slices_for_signal"]
+
+
+class Slice:
+    """One slice of the segment, owned by an entry instance of a signal.
+
+    Attributes
+    ----------
+    segment:
+        The unfolding segment.
+    signal:
+        The signal whose on-/off-set the slice contributes to.
+    phase:
+        ``1`` for an on-set slice (entry raises the signal or it is high
+        initially) and ``0`` for an off-set slice.
+    entry:
+        The entry event (an instance of ``a+``/``a-`` or the bottom event).
+    next_events:
+        The ``next`` same-signal instances bounding the slice (may be empty
+        when the slice is bounded by cutoffs or deadlocks).
+    """
+
+    def __init__(
+        self,
+        segment: UnfoldingSegment,
+        signal: str,
+        phase: int,
+        entry: Event,
+    ) -> None:
+        self.segment = segment
+        self.signal = signal
+        self.phase = phase
+        self.entry = entry
+        if entry.is_bottom:
+            self.next_events = segment.first_instances(signal)
+        else:
+            self.next_events = segment.next_instances_of_signal(entry, signal)
+        self._member_events: Optional[List[Event]] = None
+        self._member_conditions: Optional[List[Condition]] = None
+
+    # ------------------------------------------------------------------ #
+    # Cuts bounding the slice
+    # ------------------------------------------------------------------ #
+    @property
+    def min_cut(self) -> List[Condition]:
+        """The slice's min-cut (minimal excitation cut of the entry)."""
+        return self.segment.minimal_excitation_cut(self.entry)
+
+    @property
+    def min_code(self) -> Tuple[int, ...]:
+        """Binary code of the min-cut."""
+        return self.segment.excitation_code(self.entry)
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+    def member_events(self) -> List[Event]:
+        """Events belonging to the slice.
+
+        An event belongs to the slice when it is not in the causal past of
+        the entry, is conflict-free with it, and is not at or beyond a
+        ``next`` instance of the signal.
+        """
+        if self._member_events is not None:
+            return self._member_events
+        segment = self.segment
+        entry = self.entry
+        members: List[Event] = []
+        for event in segment.non_bottom_events():
+            if event is entry:
+                continue
+            if not entry.is_bottom:
+                if segment.strictly_precedes(event, entry):
+                    continue
+                if segment.in_conflict(event, entry):
+                    continue
+            if any(
+                boundary is event or segment.precedes(boundary, event)
+                for boundary in self.next_events
+            ):
+                continue
+            members.append(event)
+        self._member_events = members
+        return members
+
+    def member_conditions(self) -> List[Condition]:
+        """Conditions belonging to the slice and sequential to the entry."""
+        if self._member_conditions is not None:
+            return self._member_conditions
+        segment = self.segment
+        entry = self.entry
+        member_event_ids = {event.eid for event in self.member_events()}
+        member_event_ids.add(entry.eid)
+        conditions: List[Condition] = []
+        for event_id in member_event_ids:
+            event = segment.events[event_id]
+            if not entry.is_bottom and not segment.precedes(entry, event):
+                # Only conditions *sequential to the entry* participate in the
+                # marked-region approximation (Section 4.2).
+                continue
+            conditions.extend(event.postset)
+        self._member_conditions = conditions
+        return conditions
+
+    def concurrent_signals_with_event(self, event: Event) -> Set[str]:
+        """Signals with slice instances concurrent to the given event."""
+        segment = self.segment
+        signals: Set[str] = set()
+        for other in self.member_events():
+            if other.label is None:
+                continue
+            if segment.concurrent_events(event, other):
+                signals.add(other.label.signal)
+        return signals
+
+    def concurrent_signals_with_condition(
+        self, condition: Condition, exclude_events: Sequence[Event] = ()
+    ) -> Set[str]:
+        """Signals with slice instances concurrent to the given condition."""
+        segment = self.segment
+        excluded = {event.eid for event in exclude_events}
+        signals: Set[str] = set()
+        for other in self.member_events():
+            if other.label is None or other.eid in excluded:
+                continue
+            if segment.concurrent_event_condition(other, condition):
+                signals.add(other.label.signal)
+        return signals
+
+    # ------------------------------------------------------------------ #
+    # Exact state enumeration (Section 4.1)
+    # ------------------------------------------------------------------ #
+    def allowed_event_ids(self) -> Set[int]:
+        """Events that may fire while staying inside the slice."""
+        allowed = {event.eid for event in self.member_events()}
+        allowed.add(self.entry.eid)
+        return allowed
+
+    def cuts(self) -> Iterator[Cut]:
+        """Enumerate the cuts encapsulated by the slice."""
+        start_conditions = tuple(self.min_cut)
+        start = Cut(
+            start_conditions,
+            frozenset(c.place for c in start_conditions),
+            self.min_code,
+        )
+        return enumerate_cuts(
+            self.segment, allowed_events=self.allowed_event_ids(), start=start
+        )
+
+    def states(self) -> List[Tuple[FrozenSet[str], Tuple[int, ...]]]:
+        """States (marking, code) of the slice with the correct implied value.
+
+        The slice enumeration may reach cuts where the *next* instance of the
+        signal is already excited (those belong to the opposite set); they
+        are filtered out by evaluating the implied value of the signal on the
+        original net, which also handles slices bounded by cutoffs.
+        """
+        stg = self.segment.stg
+        index = stg.signal_index(self.signal)
+        result: List[Tuple[FrozenSet[str], Tuple[int, ...]]] = []
+        for cut in self.cuts():
+            if _implied_value(stg, cut.marking, cut.code, self.signal, index) == self.phase:
+                result.append((cut.marking, cut.code))
+        return result
+
+    def __repr__(self) -> str:
+        return "Slice(signal=%r, phase=%d, entry=%s, next=%d)" % (
+            self.signal,
+            self.phase,
+            self.entry,
+            len(self.next_events),
+        )
+
+
+def _implied_value(stg, marking, code, signal, index) -> int:
+    """Implied (next-state) value of a signal at a recovered state."""
+    from ..petrinet import Marking
+
+    marking_obj = Marking.from_places(marking)
+    value = code[index]
+    wanted = Direction.MINUS if value == 1 else Direction.PLUS
+    for transition in stg.transitions_of_signal(signal):
+        label = stg.label_of(transition)
+        if label.direction is not wanted:
+            continue
+        if stg.net.is_enabled(marking_obj, transition):
+            return 1 - value if value == 1 else 1
+    return value
+
+
+def slices_for_signal(
+    segment: UnfoldingSegment, signal: str, phase: int
+) -> List[Slice]:
+    """All slices contributing to the on-set (phase=1) or off-set (phase=0)."""
+    wanted_direction = Direction.PLUS if phase == 1 else Direction.MINUS
+    entries: List[Event] = [
+        event
+        for event in segment.events_of_signal(signal)
+        if event.label.direction is wanted_direction
+    ]
+    initial_value = segment.initial_code[segment.stg.signal_index(signal)]
+    slices = [Slice(segment, signal, phase, entry) for entry in entries]
+    if initial_value == phase:
+        slices.insert(0, Slice(segment, signal, phase, segment.bottom))
+    return slices
+
+
+def on_slices(segment: UnfoldingSegment, signal: str) -> List[Slice]:
+    """On-set slice partitioning of the segment for a signal."""
+    return slices_for_signal(segment, signal, 1)
+
+
+def off_slices(segment: UnfoldingSegment, signal: str) -> List[Slice]:
+    """Off-set slice partitioning of the segment for a signal."""
+    return slices_for_signal(segment, signal, 0)

@@ -1,0 +1,363 @@
+"""Construction of the STG-unfolding segment.
+
+The segment is a finite prefix of the (in general infinite) branching
+process of the STG, truncated at *cutoff* events: events whose firing
+reaches a state -- a (marking, binary code) pair -- already reached by a
+smaller local configuration (McMillan's criterion, extended with the binary
+code as in the paper's reference [11]).  While the segment is built the two
+general correctness criteria that can fail during construction are checked:
+
+* **boundedness / safeness** -- the benchmarks are safe nets; a configuration
+  reaching a non-safe marking aborts the construction,
+* **consistent state assignment** -- an event whose signal is already at the
+  value the event would set it to reveals an inconsistent specification.
+
+The third criterion, semi-modularity, is checked on the finished segment
+(:mod:`repro.unfolding.semimodularity`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..stg import STG, STGError
+from ..stg.signals import SignalTransition
+from .occurrence_net import Condition, Event, OccurrenceNet
+
+__all__ = ["UnfoldingError", "UnfoldingSegment", "unfold"]
+
+
+class UnfoldingError(STGError):
+    """Raised when the segment cannot be constructed."""
+
+
+class UnfoldingSegment(OccurrenceNet):
+    """An STG-unfolding segment (occurrence net + signal interpretation).
+
+    Attributes
+    ----------
+    stg:
+        The unfolded STG.
+    initial_code:
+        Binary code of the initial state (assigned to the bottom event).
+    cutoffs:
+        The cutoff events of the segment.
+    """
+
+    def __init__(self, stg: STG) -> None:
+        super().__init__()
+        self.stg = stg
+        self.initial_code: Tuple[int, ...] = ()
+        self.cutoffs: List[Event] = []
+
+    # ------------------------------------------------------------------ #
+    # Configuration-level helpers
+    # ------------------------------------------------------------------ #
+    def config_events(self, event_ids: Iterable[int]) -> List[Event]:
+        return [self.events[eid] for eid in sorted(event_ids)]
+
+    def config_cut(self, event_ids: FrozenSet[int]) -> List[Condition]:
+        """The cut (set of conditions) reached by firing a configuration."""
+        produced: List[Condition] = []
+        consumed: Set[int] = set()
+        for eid in event_ids:
+            event = self.events[eid]
+            produced.extend(event.postset)
+            for condition in event.preset:
+                consumed.add(condition.cid)
+        return [condition for condition in produced if condition.cid not in consumed]
+
+    def config_marking(self, event_ids: FrozenSet[int]) -> FrozenSet[str]:
+        """Final state of a configuration mapped onto original places."""
+        return frozenset(condition.place for condition in self.config_cut(event_ids))
+
+    def config_code(self, event_ids: FrozenSet[int]) -> Tuple[int, ...]:
+        """Binary code reached by firing a configuration.
+
+        For every signal the causally last instance inside the configuration
+        determines the value; instances of the same signal inside one
+        configuration must be totally ordered, otherwise the specification
+        is inconsistent.
+        """
+        code = list(self.initial_code)
+        by_signal: Dict[str, List[Event]] = {}
+        for eid in event_ids:
+            event = self.events[eid]
+            if event.label is not None:
+                by_signal.setdefault(event.label.signal, []).append(event)
+        for signal, instances in by_signal.items():
+            last = instances[0]
+            for candidate in instances[1:]:
+                if self.precedes(last, candidate):
+                    last = candidate
+                elif not self.precedes(candidate, last):
+                    raise UnfoldingError(
+                        "inconsistent STG: concurrent instances of signal %r "
+                        "(%s and %s)" % (signal, last, candidate)
+                    )
+            code[self.stg.signal_index(signal)] = last.label.target_value
+        return tuple(code)
+
+    # ------------------------------------------------------------------ #
+    # Per-event cuts (Section 3.2)
+    # ------------------------------------------------------------------ #
+    def local_configuration(self, event: Event) -> FrozenSet[int]:
+        """The local configuration ``[e]``."""
+        return self.ancestors_of(event)
+
+    def minimal_stable_cut(self, event: Event) -> List[Condition]:
+        """``c_min_s(e)``: the state reached by firing ``[e]``."""
+        return self.config_cut(self.local_configuration(event))
+
+    def minimal_excitation_cut(self, event: Event) -> List[Condition]:
+        """``c_min_e(e)``: the state at which ``e`` first becomes enabled."""
+        if event.is_bottom:
+            return self.config_cut(frozenset({0}))
+        causes = frozenset(self.local_configuration(event) - {event.eid})
+        return self.config_cut(causes)
+
+    def excitation_code(self, event: Event) -> Tuple[int, ...]:
+        """Binary code of ``c_min_e(e)``."""
+        if event.is_bottom:
+            return self.initial_code
+        causes = frozenset(self.local_configuration(event) - {event.eid})
+        return self.config_code(causes)
+
+    # ------------------------------------------------------------------ #
+    # Signal-instance structure (first / next of the paper)
+    # ------------------------------------------------------------------ #
+    def first_instances(self, signal: str) -> List[Event]:
+        """``first(a)``: instances of ``a`` with no earlier instance of ``a``."""
+        instances = self.events_of_signal(signal)
+        result = []
+        for event in instances:
+            earlier = [
+                other
+                for other in instances
+                if other is not event and self.strictly_precedes(other, event)
+            ]
+            if not earlier:
+                result.append(event)
+        return result
+
+    def next_instances(self, event: Event) -> List[Event]:
+        """``next(e)``: same-signal instances directly following ``e``.
+
+        For the bottom event the set is ``first(a)`` for every signal is not
+        meaningful; callers pass the signal explicitly via
+        :meth:`next_instances_of_signal`.
+        """
+        if event.label is None:
+            raise UnfoldingError("next() is only defined for signal-labelled events")
+        return self.next_instances_of_signal(event, event.label.signal)
+
+    def next_instances_of_signal(self, event: Event, signal: str) -> List[Event]:
+        """Same-signal instances reachable from ``event`` with no instance of
+        the signal in between."""
+        instances = self.events_of_signal(signal)
+        followers = [
+            other
+            for other in instances
+            if other is not event and self.strictly_precedes(event, other)
+        ]
+        result = []
+        for candidate in followers:
+            intermediate = any(
+                other is not candidate
+                and self.strictly_precedes(event, other)
+                and self.strictly_precedes(other, candidate)
+                for other in followers
+            )
+            if not intermediate:
+                result.append(candidate)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "events": self.num_events - 1,  # exclude the bottom event
+            "conditions": self.num_conditions,
+            "cutoffs": len(self.cutoffs),
+        }
+
+    def __repr__(self) -> str:
+        return "UnfoldingSegment(events=%d, conditions=%d, cutoffs=%d)" % (
+            self.num_events - 1,
+            self.num_conditions,
+            len(self.cutoffs),
+        )
+
+
+def unfold(
+    stg: STG,
+    max_events: int = 20000,
+    check_consistency: bool = True,
+) -> UnfoldingSegment:
+    """Build the STG-unfolding segment of a (safe, consistent) STG.
+
+    Parameters
+    ----------
+    stg:
+        The specification to unfold; its initial state is inferred when not
+        given explicitly.
+    max_events:
+        Hard bound on the number of events (guards against unbounded or
+        pathological specifications).
+    check_consistency:
+        When True (default), an event violating consistent state assignment
+        aborts the construction with :class:`UnfoldingError`.
+    """
+    if not stg.has_complete_initial_state():
+        stg.infer_initial_state()
+    net = stg.net
+    initial_marking = net.initial_marking
+    if not initial_marking.is_safe():
+        raise UnfoldingError("only safe (1-bounded) STGs are supported")
+    for transition in net.transitions:
+        weights = list(net.preset(transition).values()) + list(net.postset(transition).values())
+        if any(weight != 1 for weight in weights):
+            raise UnfoldingError("arc weights other than 1 are not supported")
+
+    segment = UnfoldingSegment(stg)
+    segment.initial_code = stg.initial_code()
+
+    # Bottom event and initial conditions.
+    bottom = segment.new_event(None, None, preset=())
+    segment.attach_postset(bottom, sorted(initial_marking.places))
+    bottom.local_config = frozenset({bottom.eid})
+    bottom.code = segment.initial_code
+    bottom.marking = frozenset(initial_marking.places)
+
+    state_sizes: Dict[Tuple[FrozenSet[str], Tuple[int, ...]], int] = {
+        (bottom.marking, bottom.code): 1
+    }
+
+    dead_conditions: Set[int] = set()
+    seen_extensions: Set[Tuple[str, FrozenSet[int]]] = set()
+    counter = itertools.count()
+    queue: List[Tuple[int, int, str, Tuple[int, ...]]] = []
+
+    conditions_by_place: Dict[str, List[Condition]] = {}
+
+    def register_conditions(conditions: Sequence[Condition]) -> None:
+        for condition in conditions:
+            conditions_by_place.setdefault(condition.place, []).append(condition)
+
+    def extension_size(preset: Sequence[Condition]) -> int:
+        config: Set[int] = set()
+        for condition in preset:
+            config |= segment.ancestors_of(condition.producer)
+        return len(config) + 1
+
+    def push_extensions(new_conditions: Sequence[Condition]) -> None:
+        """Find possible extensions involving at least one new condition."""
+        for new_condition in new_conditions:
+            if new_condition.cid in dead_conditions:
+                continue
+            for transition in net.place_postset(new_condition.place):
+                preset_places = sorted(net.preset(transition))
+                choices: List[List[Condition]] = []
+                feasible = True
+                for place in preset_places:
+                    if place == new_condition.place:
+                        choices.append([new_condition])
+                        continue
+                    candidates = [
+                        condition
+                        for condition in conditions_by_place.get(place, [])
+                        if condition.cid not in dead_conditions
+                        and segment.concurrent_conditions(condition, new_condition)
+                    ]
+                    if not candidates:
+                        feasible = False
+                        break
+                    choices.append(candidates)
+                if not feasible:
+                    continue
+                for combo in itertools.product(*choices):
+                    if not segment.is_coset(combo):
+                        continue
+                    key = (transition, frozenset(c.cid for c in combo))
+                    if key in seen_extensions:
+                        continue
+                    seen_extensions.add(key)
+                    heapq.heappush(
+                        queue,
+                        (
+                            extension_size(combo),
+                            next(counter),
+                            transition,
+                            tuple(c.cid for c in combo),
+                        ),
+                    )
+
+    register_conditions(bottom.postset)
+    push_extensions(bottom.postset)
+
+    while queue:
+        _size, _tie, transition, preset_ids = heapq.heappop(queue)
+        preset = [segment.conditions[cid] for cid in preset_ids]
+        label = stg.label_of(transition)
+        event = segment.new_event(transition, label, preset)
+
+        config: Set[int] = {event.eid}
+        for condition in preset:
+            config |= segment.ancestors_of(condition.producer)
+        event.local_config = frozenset(config)
+        # Seed the ancestor cache so later queries are O(1).
+        segment._ancestors[event.eid] = event.local_config
+
+        causes = frozenset(event.local_config - {event.eid})
+        cause_code = segment.config_code(causes)
+        if (
+            check_consistency
+            and label is not None
+            and cause_code[stg.signal_index(label.signal)] != label.source_value
+        ):
+            raise UnfoldingError(
+                "inconsistent state assignment: instance of %s enabled while "
+                "%s = %d" % (transition, label.signal, label.target_value)
+            )
+
+        code = list(cause_code)
+        if label is not None:
+            code[stg.signal_index(label.signal)] = label.target_value
+        event.code = tuple(code)
+
+        postset_places = sorted(net.postset(transition))
+        postset = segment.attach_postset(event, postset_places)
+        register_conditions(postset)
+
+        cut_places = [c.place for c in segment.config_cut(event.local_config)]
+        if len(set(cut_places)) != len(cut_places):
+            raise UnfoldingError(
+                "non-safe marking reached by firing %s; only safe STGs are supported"
+                % transition
+            )
+        event.marking = frozenset(cut_places)
+
+        # Cutoff check (McMillan, on the (marking, code) pair).
+        state = (event.marking, event.code)
+        known_size = state_sizes.get(state)
+        if known_size is not None and known_size < len(event.local_config):
+            event.is_cutoff = True
+            segment.cutoffs.append(event)
+        else:
+            if known_size is None or len(event.local_config) < known_size:
+                state_sizes[state] = len(event.local_config)
+
+        if event.is_cutoff:
+            dead_conditions.update(condition.cid for condition in postset)
+        else:
+            push_extensions(postset)
+
+        if segment.num_events > max_events:
+            raise UnfoldingError(
+                "unfolding exceeded %d events; the STG may be unbounded" % max_events
+            )
+
+    return segment

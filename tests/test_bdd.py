@@ -1,0 +1,74 @@
+"""Tests for the ROBDD manager and symbolic reachability."""
+
+import pytest
+
+from repro.bdd import BDD, SymbolicReachability, count_reachable_markings
+from repro.petrinet import Marking, explore
+from repro.stg import muller_pipeline, paper_example
+
+
+def test_basic_connectives():
+    bdd = BDD(["a", "b", "c"])
+    a, b = bdd.var("a"), bdd.var("b")
+    assert bdd.conj(a, bdd.negate(a)) == bdd.FALSE
+    assert bdd.disj(a, bdd.negate(a)) == bdd.TRUE
+    f = bdd.disj(bdd.conj(a, b), bdd.conj(bdd.negate(a), bdd.negate(b)))
+    assert bdd.evaluate(f, {"a": True, "b": True, "c": False})
+    assert not bdd.evaluate(f, {"a": True, "b": False, "c": True})
+
+
+def test_hash_consing_gives_canonical_nodes():
+    bdd = BDD(["a", "b"])
+    f = bdd.disj(bdd.var("a"), bdd.var("b"))
+    g = bdd.disj(bdd.var("b"), bdd.var("a"))
+    assert f == g  # same node id for the same function
+
+
+def test_xor_and_implies():
+    bdd = BDD(["a", "b"])
+    a, b = bdd.var("a"), bdd.var("b")
+    x = bdd.xor(a, b)
+    assert bdd.evaluate(x, {"a": True, "b": False})
+    assert not bdd.evaluate(x, {"a": True, "b": True})
+    assert bdd.implies(bdd.FALSE, a) == bdd.TRUE
+
+
+def test_restrict_and_quantification():
+    bdd = BDD(["a", "b"])
+    f = bdd.conj(bdd.var("a"), bdd.var("b"))
+    assert bdd.restrict(f, "a", True) == bdd.var("b")
+    assert bdd.restrict(f, "a", False) == bdd.FALSE
+    assert bdd.exists(f, ["a"]) == bdd.var("b")
+    assert bdd.forall(f, ["a"]) == bdd.FALSE
+
+
+def test_count_solutions():
+    bdd = BDD(["a", "b", "c"])
+    assert bdd.count_solutions(bdd.TRUE) == 8
+    assert bdd.count_solutions(bdd.FALSE) == 0
+    assert bdd.count_solutions(bdd.var("a")) == 4
+    f = bdd.disj(bdd.var("a"), bdd.var("b"))
+    assert bdd.count_solutions(f) == 6
+
+
+def test_satisfying_assignments():
+    bdd = BDD(["a", "b"])
+    f = bdd.conj(bdd.var("a"), bdd.negate(bdd.var("b")))
+    assignments = list(bdd.satisfying_assignments(f))
+    assert assignments == [{"a": True, "b": False}]
+
+
+def test_symbolic_reachability_matches_explicit():
+    for stg in (paper_example(), muller_pipeline(3)):
+        explicit = explore(stg.net)
+        symbolic = SymbolicReachability(stg.net)
+        assert symbolic.count() == explicit.num_states
+        explicit_markings = {m.places for m in explicit.markings}
+        assert set(symbolic.markings()) == explicit_markings
+        for marking in explicit.markings:
+            assert symbolic.contains(marking)
+
+
+def test_count_reachable_markings_helper():
+    stg = muller_pipeline(2)
+    assert count_reachable_markings(stg.net) == explore(stg.net).num_states

@@ -1,0 +1,125 @@
+"""Unit tests for the cube algebra."""
+
+import pytest
+
+from repro.boolean import Cube, CubeError
+
+
+def test_from_string_roundtrip():
+    cube = Cube.from_string("1-0")
+    assert cube.to_string() == "1-0"
+    assert cube.value(0) == 1
+    assert cube.value(1) is None
+    assert cube.value(2) == 0
+
+
+def test_invalid_character_rejected():
+    with pytest.raises(CubeError):
+        Cube.from_string("12-")
+
+
+def test_conflicting_masks_rejected():
+    with pytest.raises(CubeError):
+        Cube(3, ones=0b001, zeros=0b001)
+
+
+def test_full_cube_covers_everything():
+    cube = Cube.full(3)
+    assert cube.is_full()
+    assert cube.num_minterms == 8
+    for minterm in range(8):
+        assert cube.covers_minterm(minterm)
+
+
+def test_minterm_cube_is_fully_specified():
+    cube = Cube.from_minterm(3, 0b101)
+    assert cube.is_minterm()
+    assert cube.to_string() == "101"
+    assert cube.num_minterms == 1
+
+
+def test_intersection_and_emptiness():
+    a = Cube.from_string("1-0")
+    b = Cube.from_string("11-")
+    c = a.intersect(b)
+    assert c is not None and c.to_string() == "110"
+    d = Cube.from_string("0--")
+    assert a.intersect(d) is None
+    assert not a.intersects(d)
+
+
+def test_containment():
+    big = Cube.from_string("1--")
+    small = Cube.from_string("1-0")
+    assert big.contains(small)
+    assert not small.contains(big)
+    assert big.contains(big)
+
+
+def test_distance_and_consensus():
+    a = Cube.from_string("10-")
+    b = Cube.from_string("11-")
+    assert a.distance(b) == 1
+    consensus = a.consensus(b)
+    assert consensus is not None and consensus.to_string() == "1--"
+    far = Cube.from_string("01-")
+    assert a.distance(far) == 2
+    assert a.consensus(far) is None
+
+
+def test_supercube():
+    a = Cube.from_string("100")
+    b = Cube.from_string("110")
+    assert a.supercube(b).to_string() == "1-0"
+
+
+def test_cofactor():
+    cube = Cube.from_string("1-0")
+    assert cube.cofactor(0, 1).to_string() == "--0"
+    assert cube.cofactor(0, 0) is None
+    assert cube.cofactor(1, 1).to_string() == "1-0"
+
+
+def test_minterms_enumeration():
+    cube = Cube.from_string("1-‐".replace("‐", "-"))
+    minterms = set(Cube.from_string("1--").minterms())
+    assert minterms == {0b001, 0b011, 0b101, 0b111}
+
+
+def test_literals_and_counts():
+    cube = Cube.from_string("1-01")
+    assert dict(cube.literals()) == {0: 1, 2: 0, 3: 1}
+    assert cube.num_literals == 3
+    assert cube.num_minterms == 2
+
+
+def test_expression_rendering():
+    cube = Cube.from_string("1-0")
+    assert cube.to_expression(["a", "b", "c"]) == "a c'"
+    assert Cube.full(2).to_expression(["a", "b"]) == "1"
+
+
+def test_with_literal_and_without_var():
+    cube = Cube.from_string("1--")
+    assert cube.with_literal(1, 0).to_string() == "10-"
+    assert cube.with_literal(0, 0).to_string() == "0--"
+    assert cube.without_var(0).to_string() == "---"
+
+
+def test_complement_cubes_partition_space():
+    cube = Cube.from_string("10-")
+    complement = list(cube.complement_cubes())
+    covered = set()
+    for piece in complement:
+        covered |= set(piece.minterms())
+    assert covered == set(range(8)) - set(cube.minterms())
+
+
+def test_space_mismatch_rejected():
+    with pytest.raises(CubeError):
+        Cube.from_string("1-").intersect(Cube.from_string("1--"))
+
+
+def test_hash_and_equality():
+    assert Cube.from_string("1-0") == Cube.from_string("1-0")
+    assert len({Cube.from_string("1-0"), Cube.from_string("1-0")}) == 1

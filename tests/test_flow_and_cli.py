@@ -1,0 +1,84 @@
+"""Tests for the experiment harnesses and the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.flow import format_table, run_counterflow, run_figure6, run_table1
+from repro.stg import benchmark_by_name, write_g_file
+
+
+def small_entries():
+    return [benchmark_by_name(name) for name in ("sendr-done", "rcv-setup", "nowick")]
+
+
+def test_run_table1_on_small_subset():
+    rows = run_table1(entries=small_entries(), methods=("unfolding-approx", "sg-explicit"))
+    assert len(rows) == 3
+    for row in rows:
+        assert row["LitCnt"] > 0
+        assert row["TotTim"] >= 0
+        assert row["sg-explicit_literals"] == row["LitCnt"]
+        assert row["signals"] == benchmark_by_name(row["benchmark"]).expected_signals
+
+
+def test_run_figure6_small_sweep():
+    rows = run_figure6(stage_counts=(1, 2), methods=("unfolding-approx", "sg-explicit"))
+    assert [row["stages"] for row in rows] == [1, 2]
+    for row in rows:
+        assert row["unfolding-approx"] is not None
+        assert row["sg-explicit"] is not None
+
+
+def test_run_figure6_respects_method_limits():
+    rows = run_figure6(
+        stage_counts=(3,),
+        methods=("unfolding-approx", "sg-explicit"),
+        method_limits={"sg-explicit": 2},
+    )
+    assert rows[0]["sg-explicit"] is None
+    assert rows[0]["unfolding-approx"] is not None
+
+
+def test_run_counterflow_small():
+    row = run_counterflow(stages_per_direction=2)
+    assert row["signals"] == 8
+    assert row["literals"] > 0
+
+
+def test_format_table():
+    text = format_table([{"a": 1, "b": "xy"}], ["a", "b"])
+    assert "a" in text and "xy" in text
+    assert len(text.splitlines()) == 3
+
+
+def test_cli_synth_benchmark(capsys):
+    assert main(["synth", "sendr-done", "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "total literals" in out
+    assert "verification: OK" in out
+
+
+def test_cli_synth_g_file(tmp_path, capsys):
+    from repro.stg import paper_example
+
+    path = tmp_path / "example.g"
+    write_g_file(paper_example(), str(path))
+    assert main(["synth", str(path), "--method", "unfolding-exact"]) == 0
+    assert "b =" in capsys.readouterr().out
+
+
+def test_cli_table1_subset(capsys):
+    assert main(["table1", "--benchmarks", "sendr-done", "--methods", "unfolding-approx"]) == 0
+    out = capsys.readouterr().out
+    assert "sendr-done" in out
+    assert "LitCnt" in out
+
+
+def test_cli_figure6(capsys):
+    assert main(["figure6", "--stages", "1", "--methods", "unfolding-approx"]) == 0
+    assert "signals" in capsys.readouterr().out
+
+
+def test_cli_unknown_benchmark():
+    with pytest.raises(SystemExit):
+        main(["synth", "no-such-benchmark"])

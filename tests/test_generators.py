@@ -1,0 +1,115 @@
+"""Tests for the STG generators and the Table 1 benchmark suite."""
+
+import pytest
+
+from repro.stategraph import build_state_graph, check_csc, check_output_persistency
+from repro.stg import (
+    benchmark_by_name,
+    check_consistency,
+    choice_controller,
+    counterflow_pipeline,
+    csc_conflict_example,
+    example_suite,
+    figure4_example,
+    muller_pipeline,
+    paper_example,
+    parallel_handshake,
+    sequential_controller,
+    table1_suite,
+)
+
+
+def test_paper_example_state_graph_matches_figure1():
+    graph = build_state_graph(paper_example())
+    assert graph.num_states == 8
+    codes = {"".join(map(str, code)) for code in graph.codes}
+    assert codes == {"000", "100", "110", "101", "111", "011", "001", "010"}
+
+
+def test_muller_pipeline_sizes_and_properties():
+    for stages in (1, 2, 4):
+        stg = muller_pipeline(stages)
+        assert stg.num_signals == stages + 2
+        assert check_consistency(stg).consistent
+        graph = build_state_graph(stg)
+        assert check_csc(graph).satisfied
+        assert not check_output_persistency(graph)
+
+
+def test_muller_pipeline_state_graph_grows_exponentially():
+    sizes = [build_state_graph(muller_pipeline(n)).num_states for n in (2, 4, 6)]
+    assert sizes[1] > 2 * sizes[0]
+    assert sizes[2] > 2 * sizes[1]
+
+
+def test_muller_pipeline_requires_positive_stages():
+    with pytest.raises(Exception):
+        muller_pipeline(0)
+
+
+def test_counterflow_pipeline_has_34_signals():
+    stg = counterflow_pipeline(15)
+    assert stg.num_signals == 34
+
+
+def test_parallel_handshake_properties():
+    stg = parallel_handshake("hs", [3, 2])
+    assert stg.num_signals == 2 + 5
+    graph = build_state_graph(stg)
+    assert check_csc(graph).satisfied
+    assert not check_output_persistency(graph)
+
+
+def test_sequential_controller_is_a_single_cycle():
+    stg = sequential_controller("seq", 5)
+    graph = build_state_graph(stg)
+    assert graph.num_states == 2 * 5
+    assert check_csc(graph).satisfied
+
+
+def test_choice_controller_is_implementable():
+    graph = build_state_graph(choice_controller())
+    assert check_csc(graph).satisfied
+    assert not check_output_persistency(graph)
+    assert not choice_controller().net.is_marked_graph()
+
+
+def test_figure4_example_properties():
+    graph = build_state_graph(figure4_example())
+    assert check_csc(graph).satisfied
+    assert graph.num_states == 54
+
+
+def test_csc_conflict_example_violates_csc():
+    graph = build_state_graph(csc_conflict_example())
+    assert not check_csc(graph).satisfied
+
+
+def test_table1_suite_signal_counts_match_paper():
+    entries = table1_suite()
+    assert len(entries) == 21
+    assert sum(e.expected_signals for e in entries) == 228  # Table 1 total
+    for entry in entries:
+        stg = entry.build()
+        assert stg.num_signals == entry.expected_signals, entry.name
+
+
+def test_table1_suite_is_consistent_and_csc_compliant():
+    # Spot-check a few entries across the size range (full check is in the
+    # benchmark harness; here we keep the test fast).
+    for name in ("sendr-done", "nowick", "alloc-outbound", "sbuf-send-ctl"):
+        stg = benchmark_by_name(name).build()
+        graph = build_state_graph(stg)
+        assert check_csc(graph).satisfied, name
+        assert not check_output_persistency(graph), name
+
+
+def test_benchmark_by_name_unknown():
+    with pytest.raises(KeyError):
+        benchmark_by_name("does-not-exist")
+
+
+def test_example_suite_builds():
+    for entry in example_suite():
+        stg = entry.build()
+        assert stg.num_signals == entry.expected_signals

@@ -1,0 +1,93 @@
+"""Unit tests for the two-level minimisers."""
+
+import pytest
+
+from repro.boolean import Cover, Cube, espresso, quine_mccluskey
+
+
+def cover(*rows):
+    return Cover.from_strings(list(rows))
+
+
+def check_correct(result_cover, on, dc):
+    """The minimised cover must contain the on-set and avoid the off-set."""
+    on_minterms = on.minterms()
+    dc_minterms = dc.minterms()
+    result_minterms = result_cover.minterms()
+    assert on_minterms <= result_minterms
+    assert result_minterms <= (on_minterms | dc_minterms)
+
+
+def test_espresso_paper_example():
+    # On-set of signal b from Figure 1: minimises to a + c (2 literals).
+    on = cover("100", "110", "101", "111", "011", "001")
+    dc = Cover.empty(3)
+    result = espresso(on, dc)
+    check_correct(result.cover, on, dc)
+    assert result.cover.literal_count == 2
+
+
+def test_espresso_uses_dont_cares():
+    on = cover("100")
+    dc = cover("110", "101", "111")
+    result = espresso(on, dc)
+    check_correct(result.cover, on, dc)
+    assert result.cover.literal_count == 1  # expands to "1--"
+
+
+def test_espresso_empty_on_set():
+    result = espresso(Cover.empty(4))
+    assert result.cover.is_empty()
+
+
+def test_espresso_with_explicit_off_set():
+    on = cover("100", "110")
+    off = cover("0--")
+    result = espresso(on, off=off)
+    assert on.minterms() <= result.cover.minterms()
+    assert not result.cover.intersects(off)
+
+
+def test_espresso_never_changes_function_on_care_set():
+    on = cover("0000", "0001", "0011", "0111", "1111", "1000")
+    dc = cover("1100")
+    result = espresso(on, dc)
+    check_correct(result.cover, on, dc)
+
+
+def test_quine_mccluskey_exact_simple():
+    on = cover("100", "110", "101", "111", "011", "001")
+    result = quine_mccluskey(on)
+    assert result.minterms() == on.minterms()
+    assert result.literal_count == 2
+
+
+def test_quine_mccluskey_with_dc():
+    on = cover("0000", "1000")
+    dc = cover("0100", "1100")
+    result = quine_mccluskey(on, dc)
+    assert on.minterms() <= result.minterms() <= on.minterms() | dc.minterms()
+    assert result.literal_count == 2  # c' d'
+
+
+def test_quine_mccluskey_rejects_large_spaces():
+    with pytest.raises(ValueError):
+        quine_mccluskey(Cover.empty(20).union(Cover.universe(20)))
+
+
+def test_espresso_not_worse_than_input():
+    on = cover("1010", "1011", "1000", "1001")
+    result = espresso(on)
+    assert result.cover.literal_count <= on.literal_count
+    check_correct(result.cover, on, Cover.empty(4))
+
+
+def test_espresso_matches_quine_mccluskey_quality_on_small_functions():
+    on = cover("000", "010", "011", "111")
+    dc = cover("100")
+    heuristic = espresso(on, dc).cover
+    exact = quine_mccluskey(on, dc)
+    check_correct(heuristic, on, dc)
+    # The heuristic may be slightly worse but never better than exact.
+    assert heuristic.literal_count >= exact.literal_count
+    assert heuristic.literal_count <= exact.literal_count + 2

@@ -1,0 +1,88 @@
+"""End-to-end checks of the paper's worked example (Figures 1-4, Section 4).
+
+These tests pin the reproduction to the numbers printed in the paper: the
+eight states of Figure 1(c), the instance structure of the segment of
+Figure 2, the slice partitioning of Figure 3 and the covers of Section 4.1.
+"""
+
+from repro.boolean import espresso
+from repro.stategraph import SignalRegions, build_state_graph, dc_set_cover
+from repro.stg import paper_example
+from repro.synthesis import (
+    approximate_signal_covers,
+    exact_signal_covers,
+    synthesize,
+)
+from repro.unfolding import check_semimodularity, on_slices, unfold
+
+
+def test_figure1_state_graph():
+    graph = build_state_graph(paper_example())
+    assert graph.num_states == 8
+    assert graph.num_edges == 10
+    by_marking = {frozenset(m.places): "".join(map(str, c))
+                  for m, c in zip(graph.markings, graph.codes)}
+    assert by_marking[frozenset({"p1"})] == "000"
+    assert by_marking[frozenset({"p2", "p3"})] == "100"
+    assert by_marking[frozenset({"p3", "p5"})] == "110"
+    assert by_marking[frozenset({"p2", "p6", "p8"})] == "101"
+    assert by_marking[frozenset({"p5", "p6", "p8"})] == "111"
+    assert by_marking[frozenset({"p7", "p8"})] == "011"
+    assert by_marking[frozenset({"p4"})] == "001"
+    assert by_marking[frozenset({"p9"})] == "010"
+
+
+def test_figure1_on_and_off_sets_of_b():
+    graph = build_state_graph(paper_example())
+    regions = SignalRegions(graph, "b")
+    on_cover = espresso(regions.on_cover, dc_set_cover(graph)).cover
+    off_cover = espresso(regions.off_cover, dc_set_cover(graph)).cover
+    assert on_cover.to_expression(graph.signals) == "a + c"
+    assert off_cover.to_expression(graph.signals) == "a' c'"
+
+
+def test_figure2_segment_instance_counts():
+    segment = unfold(paper_example())
+    by_signal = {
+        signal: len(segment.events_of_signal(signal)) for signal in ("a", "b", "c")
+    }
+    # One instance of a+/a-, two of b+ and c+, one of b-/c- (Figure 2).
+    assert by_signal == {"a": 2, "b": 3, "c": 3}
+    assert len(segment.cutoffs) >= 1
+    assert check_semimodularity(segment) == []
+
+
+def test_figure3_slice_partitioning():
+    segment = unfold(paper_example())
+    slices = on_slices(segment, "b")
+    assert len(slices) == 2
+    state_sets = [
+        {"".join(map(str, code)) for _m, code in s.states()} for s in slices
+    ]
+    assert {"001", "011"} in state_sets
+    union = set().union(*state_sets)
+    assert union == {"100", "110", "101", "111", "011", "001"}
+
+
+def test_section41_exact_covers():
+    segment = unfold(paper_example())
+    on, off, conflict = exact_signal_covers(segment, "b")
+    assert not conflict
+    assert {c.to_string() for c in on} == {"100", "110", "101", "111", "011", "001"}
+    assert {c.to_string() for c in off} == {"000", "010"}
+
+
+def test_section42_approximation_is_already_correct():
+    segment = unfold(paper_example())
+    approx = approximate_signal_covers(segment, "b")
+    on_exact, off_exact, _ = exact_signal_covers(segment, "b")
+    assert approx.on_cover.contains_cover(on_exact)
+    assert approx.off_cover.contains_cover(off_exact)
+
+
+def test_final_implementation_is_a_plus_c():
+    for method in ("unfolding-approx", "unfolding-exact", "sg-explicit", "sg-bdd"):
+        result = synthesize(paper_example(), method=method)
+        gate = result.implementation.gate_for("b")
+        assert gate.function.to_expression() in ("a + c", "c + a")
+        assert result.literal_count == 2

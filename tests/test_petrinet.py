@@ -1,0 +1,152 @@
+"""Unit tests for the Petri-net kernel."""
+
+import pytest
+
+from repro.petrinet import (
+    Marking,
+    PetriNet,
+    PetriNetError,
+    StateSpaceLimitExceeded,
+    check_boundedness,
+    check_safeness,
+    concurrency_relation,
+    explore,
+    structural_conflict_pairs,
+    validate_net,
+)
+
+
+def simple_cycle() -> PetriNet:
+    net = PetriNet("cycle")
+    net.add_place("p1", tokens=1)
+    net.add_place("p2")
+    net.add_transition("t1")
+    net.add_transition("t2")
+    net.add_arc("p1", "t1")
+    net.add_arc("t1", "p2")
+    net.add_arc("p2", "t2")
+    net.add_arc("t2", "p1")
+    return net
+
+
+def fork_join() -> PetriNet:
+    net = PetriNet("forkjoin")
+    for place in ["p0", "a1", "a2", "b1", "b2", "pend"]:
+        net.add_place(place)
+    net.set_initial_tokens("p0", 1)
+    net.add_transition("fork")
+    net.add_transition("ta")
+    net.add_transition("tb")
+    net.add_transition("join")
+    net.add_arc("p0", "fork")
+    net.add_arc("fork", "a1")
+    net.add_arc("fork", "b1")
+    net.add_arc("a1", "ta")
+    net.add_arc("ta", "a2")
+    net.add_arc("b1", "tb")
+    net.add_arc("tb", "b2")
+    net.add_arc("a2", "join")
+    net.add_arc("b2", "join")
+    net.add_arc("join", "pend")
+    return net
+
+
+def test_marking_is_immutable_and_hashable():
+    marking = Marking({"p1": 1, "p2": 2})
+    assert marking["p1"] == 1
+    assert marking["missing"] == 0
+    assert marking.total_tokens == 3
+    assert not marking.is_safe()
+    assert hash(marking) == hash(Marking({"p2": 2, "p1": 1}))
+    with pytest.raises(AttributeError):
+        marking.x = 1
+
+
+def test_marking_covers():
+    assert Marking({"p": 2}).covers(Marking({"p": 1}))
+    assert not Marking({"p": 1}).covers(Marking({"q": 1}))
+
+
+def test_firing_rule():
+    net = simple_cycle()
+    m0 = net.initial_marking
+    assert net.is_enabled(m0, "t1")
+    assert not net.is_enabled(m0, "t2")
+    m1 = net.fire(m0, "t1")
+    assert m1 == Marking({"p2": 1})
+    with pytest.raises(PetriNetError):
+        net.fire(m1, "t1")
+    assert net.fire_sequence(m0, ["t1", "t2"]) == m0
+
+
+def test_reachability_of_cycle():
+    graph = explore(simple_cycle())
+    assert graph.num_states == 2
+    assert graph.num_edges == 2
+    assert graph.is_safe()
+    assert not graph.deadlocks()
+
+
+def test_reachability_of_fork_join():
+    graph = explore(fork_join())
+    # p0, {a1,b1}, {a2,b1}, {a1,b2}, {a2,b2}, pend
+    assert graph.num_states == 6
+    assert graph.deadlocks() == [graph.index_of(Marking({"pend": 1}))]
+
+
+def test_state_budget():
+    with pytest.raises(StateSpaceLimitExceeded):
+        explore(fork_join(), max_states=2)
+
+
+def test_structural_conflicts_and_free_choice():
+    net = PetriNet("choice")
+    net.add_place("p", tokens=1)
+    net.add_transition("t1")
+    net.add_transition("t2")
+    net.add_arc("p", "t1")
+    net.add_arc("p", "t2")
+    assert net.structural_conflicts("t1") == {"t2"}
+    assert structural_conflict_pairs(net) == {frozenset({"t1", "t2"})}
+    assert net.is_free_choice()
+
+
+def test_concurrency_relation():
+    pairs = concurrency_relation(fork_join())
+    assert frozenset({"ta", "tb"}) in pairs
+    assert frozenset({"fork", "join"}) not in pairs
+
+
+def test_boundedness_and_safeness():
+    assert check_safeness(simple_cycle())
+    unbounded = PetriNet("unbounded")
+    unbounded.add_place("p", tokens=1)
+    unbounded.add_transition("t")
+    unbounded.add_arc("p", "t")
+    unbounded.add_arc("t", "p")
+    unbounded.add_place("q")
+    unbounded.add_arc("t", "q")
+    assert not check_boundedness(unbounded, bound=1)
+
+
+def test_validate_net_report():
+    report = validate_net(fork_join())
+    assert report.bounded
+    assert report.safe
+    assert report.has_deadlock
+    assert report.num_states == 6
+
+
+def test_duplicate_names_rejected():
+    net = PetriNet()
+    net.add_place("x")
+    with pytest.raises(PetriNetError):
+        net.add_transition("x")
+
+
+def test_copy_is_independent():
+    net = simple_cycle()
+    clone = net.copy()
+    clone.add_place("extra", tokens=1)
+    assert not net.has_place("extra")
+    assert clone.initial_marking["extra"] == 1

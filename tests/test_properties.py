@@ -1,0 +1,113 @@
+"""Property-based tests (hypothesis) for the core data structures and the
+unfolding/state-graph equivalence on randomly generated specifications."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.boolean import Cover, Cube, espresso
+from repro.stategraph import build_state_graph, check_csc
+from repro.stg import parallel_handshake
+from repro.synthesis import synthesize, verify_implementation
+from repro.unfolding import reachable_states, unfold
+
+
+# ---------------------------------------------------------------------- #
+# Cube / cover algebra
+# ---------------------------------------------------------------------- #
+def cube_strategy(nvars: int):
+    return st.lists(
+        st.sampled_from("01-"), min_size=nvars, max_size=nvars
+    ).map(lambda chars: Cube.from_string("".join(chars)))
+
+
+def cover_strategy(nvars: int, max_cubes: int = 5):
+    return st.lists(cube_strategy(nvars), min_size=0, max_size=max_cubes).map(
+        lambda cubes: Cover(nvars, cubes)
+    )
+
+
+@given(cube_strategy(5), cube_strategy(5))
+def test_cube_intersection_is_semantic_intersection(a, b):
+    product = a.intersect(b)
+    expected = set(a.minterms()) & set(b.minterms())
+    if product is None:
+        assert expected == set()
+    else:
+        assert set(product.minterms()) == expected
+
+
+@given(cube_strategy(5), cube_strategy(5))
+def test_cube_containment_matches_minterms(a, b):
+    assert a.contains(b) == (set(b.minterms()) <= set(a.minterms()))
+
+
+@given(cube_strategy(6), cube_strategy(6))
+def test_supercube_contains_both(a, b):
+    union = a.supercube(b)
+    assert union.contains(a) and union.contains(b)
+
+
+@given(cover_strategy(4))
+def test_cover_complement_partitions_space(cover):
+    complement = cover.complement()
+    assert cover.minterms() | complement.minterms() == set(range(16))
+    assert cover.minterms() & complement.minterms() == set()
+
+
+@given(cover_strategy(4), cover_strategy(4))
+def test_cover_intersection_and_union_semantics(a, b):
+    assert a.union(b).minterms() == a.minterms() | b.minterms()
+    assert a.intersect(b).minterms() == a.minterms() & b.minterms()
+    assert a.intersects(b) == bool(a.minterms() & b.minterms())
+
+
+@given(cover_strategy(4))
+def test_tautology_matches_enumeration(cover):
+    assert cover.is_tautology() == (cover.minterms() == set(range(16)))
+
+
+@given(cover_strategy(4), cover_strategy(4))
+def test_cover_containment_matches_enumeration(a, b):
+    assert a.contains_cover(b) == (b.minterms() <= a.minterms())
+
+
+@given(cover_strategy(5, max_cubes=4), cover_strategy(5, max_cubes=2))
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_espresso_preserves_the_function_on_the_care_set(on, dc):
+    result = espresso(on, dc)
+    on_minterms = on.minterms()
+    dc_minterms = dc.minterms()
+    minimized = result.cover.minterms()
+    # The function may change only on the don't-care set.
+    assert on_minterms <= minimized | dc_minterms
+    assert minimized <= on_minterms | dc_minterms
+    assert result.cover.literal_count <= max(on.literal_count, 1) or on.is_empty()
+
+
+# ---------------------------------------------------------------------- #
+# Unfolding vs State Graph on generated handshake controllers
+# ---------------------------------------------------------------------- #
+chains_strategy = st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=3)
+
+
+@given(chains_strategy)
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_unfolding_recovers_exactly_the_reachable_states(chains):
+    stg = parallel_handshake("prop", chains)
+    segment = unfold(stg)
+    graph = build_state_graph(stg)
+    recovered = reachable_states(segment)
+    assert recovered == {m.places: tuple(c) for m, c in zip(graph.markings, graph.codes)}
+
+
+@given(chains_strategy)
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_synthesis_methods_agree_on_generated_controllers(chains):
+    stg = parallel_handshake("prop", chains)
+    graph = build_state_graph(stg)
+    assert check_csc(graph).satisfied
+    approx = synthesize(stg, method="unfolding-approx")
+    sg = synthesize(stg, method="sg-explicit")
+    assert verify_implementation(stg, approx.implementation, state_graph=graph).ok
+    assert verify_implementation(stg, sg.implementation, state_graph=graph).ok
+    assert approx.literal_count == sg.literal_count

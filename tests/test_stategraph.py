@@ -1,0 +1,110 @@
+"""Tests for State Graph construction, regions and coding checks."""
+
+import pytest
+
+from repro.boolean import Cover
+from repro.petrinet import StateSpaceLimitExceeded
+from repro.stategraph import (
+    InconsistentSTGError,
+    SignalRegions,
+    build_state_graph,
+    check_csc,
+    check_output_persistency,
+    check_usc,
+    compute_regions,
+    dc_set_cover,
+)
+from repro.stg import STG, SignalType, csc_conflict_example, muller_pipeline, paper_example
+
+
+def test_build_state_graph_codes_are_consistent():
+    graph = build_state_graph(paper_example())
+    for source, transition, target in graph.edges:
+        label = graph.stg.label_of(transition)
+        assert graph.codes[source][graph.stg.signal_index(label.signal)] == label.source_value
+        assert graph.codes[target][graph.stg.signal_index(label.signal)] == label.target_value
+
+
+def test_state_budget_enforced():
+    with pytest.raises(StateSpaceLimitExceeded):
+        build_state_graph(muller_pipeline(4), max_states=5)
+
+
+def test_inconsistent_stg_detected():
+    stg = STG("bad")
+    stg.add_signal("a", SignalType.OUTPUT, initial=0)
+    t1 = stg.add_transition("a+")
+    t2 = stg.add_transition("a+")
+    start = stg.add_place("s", tokens=1)
+    stg.add_arc(start, t1)
+    stg.connect(t1, t2)
+    with pytest.raises(InconsistentSTGError):
+        build_state_graph(stg)
+
+
+def test_regions_of_paper_example_signal_b():
+    graph = build_state_graph(paper_example())
+    regions = SignalRegions(graph, "b")
+    on_codes = {"".join(map(str, graph.codes[s])) for s in regions.on_states}
+    off_codes = {"".join(map(str, graph.codes[s])) for s in regions.off_states}
+    assert on_codes == {"100", "110", "101", "111", "011", "001"}
+    assert off_codes == {"000", "010"}
+    assert regions.partition_is_complete()
+    # ER(b+) are the states where b+ is enabled.
+    er_codes = {"".join(map(str, graph.codes[s])) for s in regions.er_plus}
+    assert er_codes == {"100", "101", "001"}
+
+
+def test_dc_set_cover_is_complement_of_reachable():
+    graph = build_state_graph(paper_example())
+    dc = dc_set_cover(graph)
+    assert dc.is_empty()  # all 8 codes of the 3-signal space are reachable
+
+    graph2 = build_state_graph(muller_pipeline(1))
+    dc2 = dc_set_cover(graph2)
+    reachable = {int("".join(map(str, reversed(code))), 2) for code in graph2.codes}
+    assert dc2.minterms() == set(range(2 ** 3)) - reachable
+
+
+def test_compute_regions_only_for_implementable_signals():
+    graph = build_state_graph(paper_example())
+    regions = compute_regions(graph)
+    assert set(regions) == {"b"}
+
+
+def test_usc_and_csc_on_good_and_bad_examples():
+    good = build_state_graph(paper_example())
+    assert check_usc(good).satisfied
+    assert check_csc(good).satisfied
+
+    bad = build_state_graph(csc_conflict_example())
+    assert not check_usc(bad).satisfied
+    assert not check_csc(bad).satisfied
+    assert check_csc(bad).num_conflicts >= 1
+
+
+def test_output_persistency_violation_detected():
+    # An output in structural conflict with an input: firing the input
+    # disables the excited output.
+    stg = STG("nonpersistent")
+    stg.add_signal("i", SignalType.INPUT, initial=0)
+    stg.add_signal("x", SignalType.OUTPUT, initial=0)
+    p = stg.add_place("p", tokens=1)
+    i_plus = stg.add_transition("i+")
+    x_plus = stg.add_transition("x+")
+    stg.add_arc(p, i_plus)
+    stg.add_arc(p, x_plus)
+    stg.add_arc(i_plus, stg.add_place("pi"))
+    stg.add_arc(x_plus, stg.add_place("px"))
+    graph = build_state_graph(stg)
+    violations = check_output_persistency(graph)
+    assert violations
+    assert violations[0].disabled == "x+"
+
+
+def test_implied_value_and_excited_signals():
+    graph = build_state_graph(paper_example())
+    initial = 0
+    assert graph.signal_value(initial, "b") == 0
+    assert graph.implied_value(initial, "b") == 0
+    assert graph.excited_signals(initial) == {"a", "c"}

@@ -1,0 +1,141 @@
+"""Integration tests: all synthesis methods produce correct, equivalent logic."""
+
+import pytest
+
+from repro.stategraph import build_state_graph
+from repro.stg import (
+    choice_controller,
+    csc_conflict_example,
+    figure4_example,
+    muller_pipeline,
+    paper_example,
+    parallel_handshake,
+    sequential_controller,
+)
+from repro.synthesis import (
+    METHODS,
+    approximate_signal_covers,
+    covers_are_correct,
+    exact_signal_covers,
+    synthesize,
+    synthesize_approx_from_unfolding,
+    verify_implementation,
+)
+from repro.unfolding import unfold
+
+EXAMPLES = [
+    paper_example,
+    figure4_example,
+    choice_controller,
+    lambda: parallel_handshake("hs", [3, 2]),
+    lambda: sequential_controller("seq", 5),
+    lambda: muller_pipeline(3),
+]
+
+
+@pytest.mark.parametrize("builder", EXAMPLES)
+@pytest.mark.parametrize("method", METHODS)
+def test_every_method_produces_a_correct_implementation(builder, method):
+    stg = builder()
+    result = synthesize(stg, method=method)
+    assert not result.implementation.has_csc_conflict
+    check = verify_implementation(stg, result.implementation)
+    assert check.ok, check.errors
+
+
+@pytest.mark.parametrize("builder", EXAMPLES)
+def test_unfolding_methods_match_sg_literal_counts(builder):
+    stg = builder()
+    reference = synthesize(stg, method="sg-explicit").literal_count
+    for method in ("unfolding-exact", "unfolding-approx"):
+        assert synthesize(stg, method=method).literal_count == reference
+
+
+def test_paper_example_gate_equation():
+    result = synthesize(paper_example(), method="unfolding-approx")
+    gate = result.implementation.gate_for("b")
+    # C_On(b) minimises to a + c (Section 4.1 of the paper).
+    assert gate.literal_count == 2
+    assert gate.function.support() == ["a", "c"]
+
+
+def test_timing_breakdown_is_reported():
+    result = synthesize(paper_example(), method="unfolding-approx")
+    row = result.timing_row()
+    assert set(row) == {"UnfTim", "SynTim", "EspTim", "TotTim"}
+    assert row["TotTim"] >= row["UnfTim"]
+
+
+def test_csc_conflict_is_detected_by_all_methods():
+    stg = csc_conflict_example()
+    for method in ("sg-explicit", "unfolding-exact", "unfolding-approx"):
+        result = synthesize(csc_conflict_example(), method=method)
+        assert set(result.implementation.csc_conflicts) == {"x", "y"}
+    with pytest.raises(ValueError):
+        synthesize(stg, method="unfolding-approx", raise_on_csc=True)
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ValueError):
+        synthesize(paper_example(), method="magic")
+
+
+def test_exact_covers_from_segment_match_paper():
+    stg = paper_example()
+    segment = unfold(stg)
+    on, off, conflict = exact_signal_covers(segment, "b")
+    assert not conflict
+    on_codes = {cube.to_string() for cube in on}
+    assert on_codes == {"100", "110", "101", "111", "011", "001"}
+    assert {cube.to_string() for cube in off} == {"000", "010"}
+
+
+def test_approximated_covers_satisfy_definition_2_1():
+    stg = paper_example()
+    segment = unfold(stg)
+    approx = approximate_signal_covers(segment, "b")
+    on_exact, off_exact, _ = exact_signal_covers(segment, "b")
+    # Before refinement the approximations must over-cover their exact sets.
+    assert approx.on_cover.contains_cover(on_exact)
+    assert approx.off_cover.contains_cover(off_exact)
+
+
+def test_refined_covers_are_correct_for_all_outputs():
+    stg = parallel_handshake("hs", [2, 2])
+    segment = unfold(stg)
+    result = synthesize_approx_from_unfolding(stg, segment=segment)
+    for signal, covers in result.signal_covers.items():
+        on_exact, off_exact, conflict = exact_signal_covers(segment, signal)
+        assert not conflict
+        assert covers_are_correct(covers.on_cover, covers.off_cover, on_exact, off_exact)
+
+
+def test_refinement_statistics_are_exposed():
+    stg = muller_pipeline(3)
+    result = synthesize_approx_from_unfolding(stg)
+    assert result.total_refinement_rounds >= 0
+    assert result.total_parts_refined >= 0
+    assert result.implementation.total_literals > 0
+
+
+def test_c_element_architecture_from_sg_and_exact_unfolding():
+    stg = parallel_handshake("hs", [2, 2])
+    for method in ("sg-explicit", "unfolding-exact"):
+        result = synthesize(stg, method=method, architecture="c-element")
+        check = verify_implementation(stg, result.implementation)
+        assert check.ok, check.errors
+        gate = next(iter(result.implementation))
+        assert gate.set_function is not None and gate.reset_function is not None
+
+
+def test_approx_flow_rejects_other_architectures():
+    with pytest.raises(ValueError):
+        synthesize(paper_example(), method="unfolding-approx", architecture="c-element")
+
+
+def test_implementation_report_rendering():
+    implementation = synthesize(paper_example()).implementation
+    text = implementation.to_text()
+    assert "total literals" in text
+    assert "b =" in text
+    assert implementation.equations()
