@@ -1,0 +1,86 @@
+"""Experiment E6 -- simulator throughput (states/sec and walk events/sec).
+
+The event-driven simulator opens a verification workload the paper never
+had: executing synthesised circuits at scale.  This harness measures the two
+engines separately:
+
+* exhaustive closed-loop exploration on the Table 1 controllers -- the
+  metric is distinct closed-loop states per second;
+* seeded random walks on Muller pipelines whose closed-loop state spaces
+  are too large to enumerate -- the metric is fired events per second.
+
+Run with ``pytest benchmarks/bench_simulate.py --benchmark-only``; a summary
+table is printed at the end of the session.
+"""
+
+import pytest
+
+from repro.flow import format_table
+from repro.sim import random_walk_trace, simulate_implementation
+from repro.stg import benchmark_by_name, muller_pipeline
+from repro.synthesis import synthesize
+
+EXPLORE_BENCHMARKS = ["nowick", "alloc-outbound", "nak-pa", "ram-read-sbuf", "sbuf-ram-write"]
+WALK_STAGES = [4, 8, 12]
+WALK_STEPS = 20000
+
+
+def _implementation(stg):
+    return synthesize(stg, method="unfolding-approx").implementation
+
+
+@pytest.mark.parametrize("name", EXPLORE_BENCHMARKS)
+def test_simulate_exhaustive(benchmark, name):
+    """Exhaustive hazard + conformance verification of one controller."""
+    stg = benchmark_by_name(name).build()
+    implementation = _implementation(stg)
+    result = benchmark(lambda: simulate_implementation(stg, implementation))
+    assert result.ok
+    assert result.num_states > 0
+
+
+@pytest.mark.parametrize("stages", WALK_STAGES)
+def test_simulate_random_walk(benchmark, stages):
+    """Seeded random-walk smoke simulation of a Muller pipeline."""
+    stg = muller_pipeline(stages)
+    implementation = _implementation(stg)
+    trace = benchmark.pedantic(
+        lambda: random_walk_trace(stg, implementation, steps=WALK_STEPS, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert trace.ok
+    assert trace.num_steps == WALK_STEPS
+
+
+def test_simulate_summary(capsys):
+    """Print a states/sec / steps/sec summary table."""
+    rows = []
+    for name in EXPLORE_BENCHMARKS:
+        stg = benchmark_by_name(name).build()
+        result = simulate_implementation(stg, _implementation(stg))
+        rows.append(
+            {
+                "workload": "explore:%s" % name,
+                "signals": stg.num_signals,
+                "size": result.num_states,
+                "throughput": "%.0f states/s" % result.states_per_second,
+                "verdict": result.verdict(),
+            }
+        )
+    for stages in WALK_STAGES:
+        stg = muller_pipeline(stages)
+        trace = random_walk_trace(stg, _implementation(stg), steps=WALK_STEPS, seed=1)
+        rows.append(
+            {
+                "workload": "walk:muller-%d" % stages,
+                "signals": stg.num_signals,
+                "size": trace.num_steps,
+                "throughput": "%.0f steps/s" % trace.steps_per_second,
+                "verdict": "ok" if trace.ok else "anomalous",
+            }
+        )
+    with capsys.disabled():
+        print()
+        print(format_table(rows, ["workload", "signals", "size", "throughput", "verdict"]))
+    assert all(row["verdict"] == "ok" for row in rows)

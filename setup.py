@@ -1,8 +1,11 @@
 """Legacy setup shim.
 
-The project metadata lives in ``pyproject.toml``; this file only exists so
-that ``pip install -e .`` works in offline environments that lack the
-``wheel`` package (pip falls back to ``setup.py develop``).
+The project metadata (name, version, the ``repro-synth`` console script)
+lives in ``pyproject.toml``; this file only exists so that
+``python setup.py develop`` still works in offline environments that lack
+the ``wheel`` package and therefore cannot take pip's PEP 660 editable
+path.  Setuptools reads the ``[project]`` table from ``pyproject.toml``
+either way.
 """
 
 from setuptools import setup

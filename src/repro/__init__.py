@@ -21,6 +21,10 @@ Public API overview
     The synthesis flows: ``synthesize(stg, method=...)`` with methods
     ``unfolding-approx`` (the paper), ``unfolding-exact``, ``sg-explicit``
     and ``sg-bdd``.
+``repro.sim``
+    Event-driven speed-independent simulation: exhaustive hazard +
+    conformance verification of synthesised circuits and seeded
+    random-walk smoke simulation.
 ``repro.flow``
     Experiment harnesses regenerating Table 1 and Figure 6.
 
@@ -33,11 +37,14 @@ Quick start
 """
 
 from .synthesis import SynthesisResult, synthesize
+from .sim import simulate_implementation, simulate_spec
 from .stg import STG, parse_g, parse_g_file, write_g
 
 __all__ = [
     "SynthesisResult",
     "synthesize",
+    "simulate_implementation",
+    "simulate_spec",
     "STG",
     "parse_g",
     "parse_g_file",

@@ -10,6 +10,12 @@ Run the Table 1 and Figure 6 reproductions::
 
     repro-synth table1
     repro-synth figure6 --stages 2 4 6 8
+
+Execute a synthesised circuit against its specification (hazard-freedom and
+conformance for every architecture) and export a generated STG::
+
+    repro-synth simulate nowick
+    repro-synth export nowick -o nowick.g
 """
 
 from __future__ import annotations
@@ -19,7 +25,8 @@ import sys
 from typing import List, Optional, Sequence
 
 from .flow import format_table, run_counterflow, run_figure6, run_table1
-from .stg import benchmark_by_name, parse_g_file
+from .sim import ARCHITECTURES, simulate_spec
+from .stg import benchmark_by_name, parse_g_file, write_g, write_g_file
 from .synthesis import METHODS, synthesize, verify_implementation
 
 __all__ = ["main", "build_parser"]
@@ -41,12 +48,48 @@ def build_parser() -> argparse.ArgumentParser:
     table1 = sub.add_parser("table1", help="reproduce Table 1")
     table1.add_argument("--methods", nargs="+", default=["unfolding-approx", "sg-explicit"])
     table1.add_argument("--benchmarks", nargs="*", default=None)
+    table1.add_argument(
+        "--no-conformance",
+        action="store_true",
+        help="skip the simulator-backed conformance column",
+    )
 
     fig6 = sub.add_parser("figure6", help="reproduce the Figure 6 scaling experiment")
     fig6.add_argument("--stages", nargs="+", type=int, default=[2, 4, 6, 8, 10])
     fig6.add_argument("--methods", nargs="+", default=["unfolding-approx", "sg-explicit", "sg-bdd"])
 
     sub.add_parser("counterflow", help="synthesise the 34-signal counterflow stand-in")
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="synthesise and execute a circuit: hazard-freedom + spec conformance",
+    )
+    simulate.add_argument("spec", help="path to a .g file or a built-in benchmark name")
+    simulate.add_argument("--method", choices=METHODS, default="unfolding-approx")
+    simulate.add_argument(
+        "--architectures",
+        nargs="+",
+        choices=ARCHITECTURES,
+        default=list(ARCHITECTURES),
+        help="architectures to verify (default: all three)",
+    )
+    simulate.add_argument(
+        "--max-states",
+        type=int,
+        default=100000,
+        help="closed-loop state budget for the exhaustive exploration",
+    )
+    simulate.add_argument(
+        "--walk-steps",
+        type=int,
+        default=0,
+        help="additionally run a seeded random walk of this many events",
+    )
+    simulate.add_argument("--seed", type=int, default=0, help="random-walk seed")
+
+    export = sub.add_parser("export", help="write a specification as a .g file")
+    export.add_argument("spec", help="path to a .g file or a built-in benchmark name")
+    export.add_argument("-o", "--output", default=None, help="output path (default: stdout)")
     return parser
 
 
@@ -82,11 +125,15 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     entries = None
     if args.benchmarks:
         entries = [benchmark_by_name(name) for name in args.benchmarks]
-    rows = run_table1(entries=entries, methods=args.methods)
+    rows = run_table1(
+        entries=entries, methods=args.methods, conformance=not args.no_conformance
+    )
     columns = ["benchmark", "signals", "UnfTim", "SynTim", "EspTim", "TotTim", "LitCnt"]
     for method in args.methods:
         if method != "unfolding-approx":
             columns += ["%s_total" % method, "%s_literals" % method]
+    if not args.no_conformance:
+        columns.append("Conf")
     print(format_table(rows, columns))
     return 0
 
@@ -104,6 +151,38 @@ def _cmd_counterflow(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    stg = _load_stg(args.spec)
+    reports = simulate_spec(
+        stg,
+        method=args.method,
+        architectures=args.architectures,
+        max_states=args.max_states,
+        walk_steps=args.walk_steps,
+        seed=args.seed,
+    )
+    columns = ["benchmark", "architecture", "verdict", "states", "hazards", "violations"]
+    if args.walk_steps > 0:
+        columns.append("walk_steps")
+    print(format_table([report.row() for report in reports], columns))
+    failed = False
+    for report in reports:
+        for line in report.describe():
+            print("#   [%s] %s" % (report.architecture, line))
+        if not report.ok:
+            failed = True
+    return 1 if failed else 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    stg = _load_stg(args.spec)
+    if args.output:
+        write_g_file(stg, args.output)
+    else:
+        sys.stdout.write(write_g(stg))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -112,6 +191,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "table1": _cmd_table1,
         "figure6": _cmd_figure6,
         "counterflow": _cmd_counterflow,
+        "simulate": _cmd_simulate,
+        "export": _cmd_export,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,168 @@
+"""Executable view of a synthesised gate-level implementation.
+
+:class:`CircuitModel` turns an :class:`~repro.synthesis.netlist.Implementation`
+into something the event-driven simulator can run: given the current binary
+code of all signals it answers which gates are *excited* (their output value
+differs from the value their function implies) and what firing one of them
+does to the code.
+
+All three architectures are supported:
+
+* ``acg`` -- one atomic complex gate per signal; the gate is excited when
+  ``f(code) != code[signal]``;
+* ``c-element`` / ``rs-latch`` -- a memory element with separate set/reset
+  excitation functions; the element is excited to rise when the set function
+  is true and the signal is low, excited to fall when the reset function is
+  true and the signal is high, and *hazardous* when both functions are true
+  at once (a drive conflict).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (synthesis -> sim)
+    from ..boolean import BooleanFunction
+    from ..stg import STG
+    from ..synthesis.netlist import Implementation
+
+__all__ = ["CircuitModel"]
+
+
+class _CompiledGate:
+    """One gate with its cover inputs mapped to circuit code positions."""
+
+    __slots__ = ("signal", "index", "function", "set_function", "reset_function", "permutation")
+
+    def __init__(
+        self,
+        signal: str,
+        index: int,
+        function: Optional["BooleanFunction"],
+        set_function: Optional["BooleanFunction"],
+        reset_function: Optional["BooleanFunction"],
+        permutation: Optional[List[int]],
+    ) -> None:
+        self.signal = signal
+        self.index = index
+        self.function = function
+        self.set_function = set_function
+        self.reset_function = reset_function
+        self.permutation = permutation
+
+    def _project(self, code: Sequence[int]) -> Sequence[int]:
+        if self.permutation is None:
+            return code
+        return [code[i] for i in self.permutation]
+
+    def evaluate(self, code: Sequence[int]) -> Tuple[Optional[int], bool]:
+        """Return ``(target_value, drive_conflict)`` for the gate in ``code``.
+
+        ``target_value`` is the value the gate drives the signal towards
+        (``None`` when a memory element holds its current value) and
+        ``drive_conflict`` flags set/reset functions both true.
+        """
+        vector = self._project(code)
+        if self.function is not None:
+            return (1 if self.function.evaluate_vector(vector) else 0), False
+        set_high = bool(self.set_function.evaluate_vector(vector))
+        reset_high = bool(self.reset_function.evaluate_vector(vector))
+        if set_high and reset_high:
+            return None, True
+        if set_high:
+            return 1, False
+        if reset_high:
+            return 0, False
+        return None, False
+
+
+class CircuitModel:
+    """Executable closed-circuit model of an implementation.
+
+    The model shares the signal order of the source STG: a circuit state is
+    the binary code tuple ordered like ``stg.signals``.  Input signals have
+    no gate (they are driven by the environment); every output/internal
+    signal must have one, so implementations with CSC conflicts are rejected.
+    """
+
+    def __init__(self, stg: "STG", implementation: "Implementation") -> None:
+        if implementation.has_csc_conflict:
+            raise ValueError(
+                "cannot simulate %r: CSC conflicts leave signals without gates (%s)"
+                % (implementation.stg_name, ", ".join(sorted(implementation.csc_conflicts)))
+            )
+        self.stg = stg
+        self.implementation = implementation
+        self.signals: List[str] = list(stg.signals)
+        self._index: Dict[str, int] = {s: i for i, s in enumerate(self.signals)}
+        self.input_signals = frozenset(stg.input_signals)
+
+        missing = [s for s in stg.implementable_signals if s not in implementation.gates]
+        if missing:
+            raise ValueError(
+                "implementation of %r has no gate for signals: %s"
+                % (implementation.stg_name, ", ".join(sorted(missing)))
+            )
+
+        self._gates: List[_CompiledGate] = []
+        for signal in stg.implementable_signals:
+            gate = implementation.gates[signal]
+            function = gate.function if gate.function is not None else gate.set_function
+            names = list(function.names) if function is not None else self.signals
+            if names == self.signals:
+                permutation: Optional[List[int]] = None
+            else:
+                try:
+                    permutation = [self._index[name] for name in names]
+                except KeyError as exc:
+                    raise ValueError(
+                        "gate %r depends on unknown signal %s" % (signal, exc)
+                    )
+            self._gates.append(
+                _CompiledGate(
+                    signal,
+                    self._index[signal],
+                    gate.function,
+                    gate.set_function,
+                    gate.reset_function,
+                    permutation,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # Excitation semantics
+    # ------------------------------------------------------------------ #
+    def excitation(self, code: Sequence[int]) -> Dict[str, int]:
+        """Excited gates in ``code``: signal -> value it wants to move to."""
+        excited: Dict[str, int] = {}
+        for gate in self._gates:
+            target, _conflict = gate.evaluate(code)
+            if target is not None and target != code[gate.index]:
+                excited[gate.signal] = target
+        return excited
+
+    def drive_conflicts(self, code: Sequence[int]) -> List[str]:
+        """Signals whose set and reset functions are both true in ``code``."""
+        return [gate.signal for gate in self._gates if gate.evaluate(code)[1]]
+
+    def fire(self, code: Sequence[int], signal: str, target_value: int) -> Tuple[int, ...]:
+        """Binary code after the given signal settles to ``target_value``."""
+        updated = list(code)
+        updated[self._index[signal]] = target_value
+        return tuple(updated)
+
+    def signal_index(self, signal: str) -> int:
+        return self._index[signal]
+
+    def initial_code(self) -> Tuple[int, ...]:
+        """Initial circuit state (inferring missing initial values if needed)."""
+        if not self.stg.has_complete_initial_state():
+            self.stg.infer_initial_state()
+        return self.stg.initial_code()
+
+    def __repr__(self) -> str:
+        return "CircuitModel(%r, %s, gates=%d)" % (
+            self.implementation.stg_name,
+            self.implementation.architecture,
+            len(self._gates),
+        )

@@ -17,6 +17,17 @@ from .unfolding_approx import (
 )
 from .synthesizer import METHODS, SynthesisResult, synthesize
 
+# Dynamic verification of synthesised implementations lives in repro.sim but
+# is re-exported here because it completes the synthesise->verify loop the
+# static cover checks above begin.  (sim only imports synthesis under
+# TYPE_CHECKING, so the import below is not circular.)
+from ..sim import (
+    SimulationReport,
+    random_walk_trace,
+    simulate_implementation,
+    simulate_spec,
+)
+
 __all__ = [
     "Gate",
     "Implementation",
@@ -36,4 +47,8 @@ __all__ = [
     "METHODS",
     "SynthesisResult",
     "synthesize",
+    "SimulationReport",
+    "random_walk_trace",
+    "simulate_implementation",
+    "simulate_spec",
 ]

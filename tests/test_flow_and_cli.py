@@ -19,6 +19,28 @@ def test_run_table1_on_small_subset():
         assert row["TotTim"] >= 0
         assert row["sg-explicit_literals"] == row["LitCnt"]
         assert row["signals"] == benchmark_by_name(row["benchmark"]).expected_signals
+        # the simulator-backed conformance column (on by default)
+        assert row["Conf"] == "ok"
+        assert row["sim_states"] > 0
+        assert row["Conf_method"] == "unfolding-approx"
+
+
+def test_run_table1_conformance_prefers_unfolding_implementation():
+    rows = run_table1(
+        entries=small_entries()[:1],
+        methods=("sg-explicit", "unfolding-approx"),
+    )
+    assert rows[0]["Conf_method"] == "unfolding-approx"
+    assert rows[0]["Conf"] == "ok"
+
+
+def test_run_table1_without_conformance():
+    rows = run_table1(
+        entries=small_entries()[:1],
+        methods=("unfolding-approx",),
+        conformance=False,
+    )
+    assert "Conf" not in rows[0]
 
 
 def test_run_figure6_small_sweep():
