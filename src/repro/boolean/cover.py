@@ -13,6 +13,11 @@ Besides the usual set algebra (union, intersection, sharp, complement) the
 class provides tautology checking and single-cube containment, both via the
 standard unate-recursive paradigm, which are the primitives required by the
 Espresso-style minimiser in :mod:`repro.boolean.minimize`.
+
+The hot loops (pairwise intersection, cofactoring, containment) work on the
+cubes' ``(ones, zeros)`` integer masks directly and deduplicate through a
+set of mask pairs, because covers built from packed State-Graph codes reach
+thousands of cubes and these operations dominate synthesis time.
 """
 
 from __future__ import annotations
@@ -35,11 +40,12 @@ class Cover:
         Iterable of cubes; all must live in the same space.
     """
 
-    __slots__ = ("nvars", "_cubes")
+    __slots__ = ("nvars", "_cubes", "_keys")
 
     def __init__(self, nvars: int, cubes: Iterable[Cube] = ()) -> None:
         self.nvars = nvars
         self._cubes: List[Cube] = []
+        self._keys: Set[Tuple[int, int]] = set()
         for cube in cubes:
             self._append_checked(cube)
 
@@ -96,7 +102,7 @@ class Cover:
 
     def add(self, cube: Cube) -> None:
         """Append a cube (duplicates are silently skipped)."""
-        if cube in self._cubes:
+        if (cube.ones, cube.zeros) in self._keys:
             return
         self._append_checked(cube)
 
@@ -149,11 +155,19 @@ class Cover:
         """Return the product of the two covers (pairwise cube intersection)."""
         self._check_compatible(other)
         cubes: List[Cube] = []
+        seen: Set[Tuple[int, int]] = set()
         for left in self._cubes:
+            left_ones = left.ones
+            left_zeros = left.zeros
             for right in other._cubes:
-                product = left.intersect(right)
-                if product is not None and product not in cubes:
-                    cubes.append(product)
+                ones = left_ones | right.ones
+                zeros = left_zeros | right.zeros
+                if ones & zeros:
+                    continue
+                key = (ones, zeros)
+                if key not in seen:
+                    seen.add(key)
+                    cubes.append(Cube(self.nvars, ones, zeros))
         return Cover(self.nvars, cubes)
 
     def __and__(self, other: "Cover") -> "Cover":
@@ -163,55 +177,67 @@ class Cover:
         """Return True if the two covers share at least one minterm."""
         self._check_compatible(other)
         for left in self._cubes:
+            left_ones = left.ones
+            left_zeros = left.zeros
             for right in other._cubes:
-                if left.intersects(right):
+                if not ((left_ones | right.ones) & (left_zeros | right.zeros)):
                     return True
         return False
 
     def intersect_cube(self, cube: Cube) -> "Cover":
         """Return the cover restricted to the given cube."""
+        cube_ones = cube.ones
+        cube_zeros = cube.zeros
         cubes: List[Cube] = []
+        seen: Set[Tuple[int, int]] = set()
         for own in self._cubes:
-            product = own.intersect(cube)
-            if product is not None and product not in cubes:
-                cubes.append(product)
+            ones = own.ones | cube_ones
+            zeros = own.zeros | cube_zeros
+            if ones & zeros:
+                continue
+            key = (ones, zeros)
+            if key not in seen:
+                seen.add(key)
+                cubes.append(Cube(self.nvars, ones, zeros))
         return Cover(self.nvars, cubes)
 
     def cofactor(self, cube: Cube) -> "Cover":
         """Generalised Shannon cofactor of the cover with respect to a cube."""
+        cube_ones = cube.ones
+        cube_zeros = cube.zeros
+        fixed = cube_ones | cube_zeros
         cubes: List[Cube] = []
+        seen: Set[Tuple[int, int]] = set()
         for own in self._cubes:
-            if own.distance(cube) > 0:
-                continue
-            ones = own.ones & ~(cube.ones | cube.zeros)
-            zeros = own.zeros & ~(cube.ones | cube.zeros)
-            reduced = Cube(self.nvars, ones, zeros)
-            if reduced not in cubes:
-                cubes.append(reduced)
+            own_ones = own.ones
+            own_zeros = own.zeros
+            if (own_ones & cube_zeros) | (own_zeros & cube_ones):
+                continue  # distance > 0: the cube lies outside the cofactor
+            key = (own_ones & ~fixed, own_zeros & ~fixed)
+            if key not in seen:
+                seen.add(key)
+                cubes.append(Cube(self.nvars, key[0], key[1]))
         return Cover(self.nvars, cubes)
 
     def sharp(self, cube: Cube) -> "Cover":
         """Return the cover minus a cube (the *sharp* operation)."""
-        cubes: List[Cube] = []
+        result = Cover(self.nvars)  # result.add dedups through its key set
         for own in self._cubes:
             if not own.intersects(cube):
-                if own not in cubes:
-                    cubes.append(own)
+                result.add(own)
                 continue
             # own \ cube: expand the complement of the cube inside own.
             remainder = own
             for var, value in cube.literals():
                 piece = remainder.cofactor(var, 1 - value)
                 if piece is not None:
-                    piece = piece.with_literal(var, 1 - value)
-                    if piece not in cubes:
-                        cubes.append(piece)
+                    result.add(piece.with_literal(var, 1 - value))
                 next_remainder = remainder.cofactor(var, value)
                 if next_remainder is None:
                     remainder = None
                     break
                 remainder = next_remainder.with_literal(var, value)
-        return Cover(self.nvars, cubes)
+        return result
 
     def difference(self, other: "Cover") -> "Cover":
         """Return this cover minus another cover."""
@@ -258,7 +284,14 @@ class Cover:
         kept: List[Cube] = []
         cubes = sorted(self._cubes, key=lambda c: c.num_literals)
         for cube in cubes:
-            if any(other.contains(cube) for other in kept):
+            ones = cube.ones
+            zeros = cube.zeros
+            # A kept (weaker-or-equal literal count) cube contains this one
+            # iff its literals are a subset of this cube's literals.
+            if any(
+                not (other.ones & ~ones) and not (other.zeros & ~zeros)
+                for other in kept
+            ):
                 continue
             kept.append(cube)
         return Cover(self.nvars, kept)
@@ -314,6 +347,7 @@ class Cover:
                 % (cube.nvars, self.nvars)
             )
         self._cubes.append(cube)
+        self._keys.add((cube.ones, cube.zeros))
 
     def _check_compatible(self, other: "Cover") -> None:
         if self.nvars != other.nvars:
@@ -329,8 +363,11 @@ def _select_splitting_var(cover: Cover) -> Optional[int]:
     """Pick the variable appearing in the largest number of cubes."""
     counts = [0] * cover.nvars
     for cube in cover:
-        for var, _value in cube.literals():
-            counts[var] += 1
+        mask = cube.ones | cube.zeros
+        while mask:
+            low = mask & -mask
+            counts[low.bit_length() - 1] += 1
+            mask ^= low
     best_var = None
     best_count = 0
     for var, count in enumerate(counts):

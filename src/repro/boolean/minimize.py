@@ -133,27 +133,53 @@ def _irredundant_care(cover: Cover, care_on: Cover, dc: Cover) -> Cover:
 
 def _expand(cover: Cover, off: Cover) -> Cover:
     """Expand every cube maximally without hitting the off-set."""
+    off_masks = [(c.ones, c.zeros) for c in off]
     expanded: List[Cube] = []
     for cube in sorted(cover, key=lambda c: -c.num_literals):
-        grown = _expand_cube(cube, off)
-        if not any(other.contains(grown) for other in expanded):
-            expanded = [other for other in expanded if not grown.contains(other)]
+        grown = _expand_cube(cube, off_masks)
+        grown_ones = grown.ones
+        grown_zeros = grown.zeros
+        # A cube contains another iff its literals are a subset of the
+        # other's; checked on the masks directly (this is the inner loop).
+        if not any(
+            not (other.ones & ~grown_ones) and not (other.zeros & ~grown_zeros)
+            for other in expanded
+        ):
+            expanded = [
+                other
+                for other in expanded
+                if (grown_ones & ~other.ones) or (grown_zeros & ~other.zeros)
+            ]
             expanded.append(grown)
     return Cover(cover.nvars, expanded)
 
 
-def _expand_cube(cube: Cube, off: Cover) -> Cube:
-    """Remove literals one at a time while the cube stays off-set free."""
-    current = cube
+def _expand_cube(cube: Cube, off_masks: Sequence[Tuple[int, int]]) -> Cube:
+    """Remove literals one at a time while the cube stays off-set free.
+
+    ``off_masks`` is the off-set as raw ``(ones, zeros)`` pairs; the
+    candidate cube intersects the off-set iff for some pair the combined
+    ones/zeros masks are disjoint, so the whole check is integer ops.
+    """
+    ones = cube.ones
+    zeros = cube.zeros
     changed = True
     while changed:
         changed = False
-        for var, _value in list(current.literals()):
-            candidate = current.without_var(var)
-            if not off.intersects(Cover(candidate.nvars, [candidate])):
-                current = candidate
+        mask = ones | zeros
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            cand_ones = ones & ~low
+            cand_zeros = zeros & ~low
+            for off_ones, off_zeros in off_masks:
+                if not ((cand_ones | off_ones) & (cand_zeros | off_zeros)):
+                    break  # hits the off-set: keep the literal
+            else:
+                ones = cand_ones
+                zeros = cand_zeros
                 changed = True
-    return current
+    return Cube(cube.nvars, ones, zeros)
 
 
 def _reduce(cover: Cover, dc: Cover) -> Cover:

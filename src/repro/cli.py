@@ -24,7 +24,15 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from .flow import format_table, run_counterflow, run_figure6, run_table1
+from .flow import (
+    format_table,
+    run_counterflow,
+    run_figure6,
+    run_figure6_batch,
+    run_table1,
+    run_table1_batch,
+    write_batch_json,
+)
 from .sim import ARCHITECTURES, simulate_spec
 from .stg import benchmark_by_name, parse_g_file, write_g, write_g_file
 from .synthesis import METHODS, synthesize, verify_implementation
@@ -59,6 +67,38 @@ def build_parser() -> argparse.ArgumentParser:
     fig6.add_argument("--methods", nargs="+", default=["unfolding-approx", "sg-explicit", "sg-bdd"])
 
     sub.add_parser("counterflow", help="synthesise the 34-signal counterflow stand-in")
+
+    batch = sub.add_parser(
+        "batch",
+        help="run table1/figure6 rows in parallel worker processes",
+    )
+    batch.add_argument("--kind", choices=("table1", "figure6"), default="table1")
+    batch.add_argument(
+        "--benchmarks", nargs="*", default=None, help="table1 benchmark names (default: all)"
+    )
+    batch.add_argument(
+        "--stages", nargs="+", type=int, default=[2, 4, 6, 8], help="figure6 stage counts"
+    )
+    batch.add_argument("--methods", nargs="+", default=["unfolding-approx", "sg-explicit"])
+    batch.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default: all cores)"
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None, help="per-row wall-clock budget in seconds"
+    )
+    batch.add_argument(
+        "--no-conformance",
+        action="store_true",
+        help="skip the simulator-backed conformance column (table1 only)",
+    )
+    batch.add_argument(
+        "--json", dest="json_path", default=None, help="write merged rows to this JSON file"
+    )
+    batch.add_argument(
+        "--fail-on-anomaly",
+        action="store_true",
+        help="exit non-zero when any row's outcome is error or timeout",
+    )
 
     simulate = sub.add_parser(
         "simulate",
@@ -145,6 +185,46 @@ def _cmd_figure6(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    if args.kind == "table1":
+        rows = run_table1_batch(
+            names=args.benchmarks or None,
+            methods=args.methods,
+            jobs=args.jobs,
+            task_timeout=args.timeout,
+            conformance=not args.no_conformance,
+        )
+        columns = ["benchmark", "signals", "TotTim", "LitCnt"]
+        for method in args.methods:
+            if method != "unfolding-approx":
+                columns += ["%s_total" % method, "%s_literals" % method]
+        if not args.no_conformance:
+            columns.append("Conf")
+    else:
+        rows = run_figure6_batch(
+            stage_counts=args.stages,
+            methods=args.methods,
+            jobs=args.jobs,
+            task_timeout=args.timeout,
+        )
+        columns = ["stages", "signals"] + list(args.methods)
+    columns.append("outcome")
+    print(format_table(rows, columns))
+    if args.json_path:
+        write_batch_json(args.json_path, args.kind, rows)
+        print("# wrote %s" % args.json_path)
+    anomalies = [row for row in rows if row.get("outcome") != "ok"]
+    if anomalies:
+        for row in anomalies:
+            print(
+                "# anomaly: %s -> %s"
+                % (row.get("benchmark", row.get("stages")), row.get("outcome"))
+            )
+        if args.fail_on_anomaly:
+            return 1
+    return 0
+
+
 def _cmd_counterflow(_args: argparse.Namespace) -> int:
     row = run_counterflow()
     print(format_table([row], ["signals", "method", "time", "literals", "segment_events"]))
@@ -191,6 +271,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "table1": _cmd_table1,
         "figure6": _cmd_figure6,
         "counterflow": _cmd_counterflow,
+        "batch": _cmd_batch,
         "simulate": _cmd_simulate,
         "export": _cmd_export,
     }

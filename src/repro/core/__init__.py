@@ -1,0 +1,55 @@
+"""repro.core -- packed bitvector state representation.
+
+Every state-space layer of the flow (explicit reachability, State Graph
+construction, on-set/cover extraction and closed-loop simulation) works on
+two kinds of state:
+
+* the **binary code** of the signals -- historically a ``Tuple[int, ...]``
+  ordered like ``stg.signals``;
+* the **marking** of the underlying Petri net -- historically a dict-backed
+  :class:`~repro.petrinet.marking.Marking`.
+
+This package packs both into single Python integers:
+
+* a :class:`SignalTable` / :class:`PlaceTable` interns names and assigns
+  each a stable index that doubles as a bit position;
+* a *packed code* is one int whose bit ``i`` is the value of signal ``i``
+  (see :mod:`repro.core.packed`);
+* a *packed marking* of a safe (1-bounded, weight-1) net is one int whose
+  bit ``i`` is the token count of place ``i``; :class:`MarkingCodec`
+  converts to and from :class:`~repro.petrinet.marking.Marking`;
+* :class:`PackedNet` compiles the token game of a packable net into
+  per-transition ``(preset_mask, postset_mask)`` pairs so enabling checks
+  and firing become two integer operations each.
+
+Non-safe nets (or nets with arc weights > 1) cannot be packed; callers
+detect this with :func:`PackedNet.is_packable` / :class:`UnsafeNetError`
+and fall back to the dict-based token game, so the packed core is a pure
+fast path and never changes semantics.
+"""
+
+from .lazy import LazyDecodedList
+from .tables import NameTable, PlaceTable, SignalTable
+from .packed import (
+    MarkingCodec,
+    UnsafeNetError,
+    bits_of_mask,
+    iter_set_bits,
+    pack_code,
+    unpack_code,
+)
+from .packednet import PackedNet
+
+__all__ = [
+    "LazyDecodedList",
+    "NameTable",
+    "SignalTable",
+    "PlaceTable",
+    "MarkingCodec",
+    "UnsafeNetError",
+    "PackedNet",
+    "pack_code",
+    "unpack_code",
+    "bits_of_mask",
+    "iter_set_bits",
+]

@@ -1,0 +1,129 @@
+"""Compiled packed token game for safe Petri nets.
+
+:class:`PackedNet` pre-compiles every transition of a weight-1 net into a
+``(preset_mask, postset_mask)`` pair over the net's
+:class:`~repro.core.tables.PlaceTable`.  On a packed marking ``m``:
+
+* ``t`` is enabled        iff ``m & preset == preset``;
+* firing ``t`` yields     ``(m & ~preset) | postset``;
+* the firing is **unsafe** iff ``(m & ~preset) & postset != 0`` (a token
+  would be produced onto an already marked place), in which case
+  :class:`~repro.core.packed.UnsafeNetError` is raised so the caller can
+  fall back to the dict-based token game.
+
+Self-loops (a place in both preset and postset) are handled naturally:
+``(m & ~preset) | postset`` re-produces the consumed token.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from .packed import MarkingCodec, UnsafeNetError
+from .tables import PlaceTable
+
+__all__ = ["PackedNet"]
+
+
+class PackedNet:
+    """The token game of a safe, weight-1 net compiled to integer masks.
+
+    Attributes
+    ----------
+    net:
+        The source :class:`~repro.petrinet.net.PetriNet`.
+    codec:
+        The :class:`MarkingCodec` mapping markings to packed ints.
+    transitions:
+        Transition names, index-aligned with the mask arrays.
+    """
+
+    __slots__ = (
+        "net",
+        "codec",
+        "transitions",
+        "presets",
+        "postsets",
+        "initial",
+        "_transition_index",
+    )
+
+    def __init__(self, net) -> None:
+        weights_ok, reason = _packable(net)
+        if not weights_ok:
+            raise UnsafeNetError(reason)
+        self.net = net
+        self.codec = MarkingCodec.for_net(net)
+        self.transitions: Tuple[str, ...] = net.transitions
+        places = self.codec.places
+        self.presets: List[int] = []
+        self.postsets: List[int] = []
+        self._transition_index = {}
+        for index, transition in enumerate(self.transitions):
+            self.presets.append(places.mask_of(net.preset(transition)))
+            self.postsets.append(places.mask_of(net.postset(transition)))
+            self._transition_index[transition] = index
+        self.initial = self.codec.encode(net.initial_marking)
+
+    # ------------------------------------------------------------------ #
+    # Compatibility probe
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def is_packable(net) -> bool:
+        """True when the net's arcs and initial marking fit the packed form.
+
+        The net may still turn out to be non-safe during exploration; the
+        per-firing safety check raises :class:`UnsafeNetError` in that case.
+        """
+        return _packable(net)[0]
+
+    # ------------------------------------------------------------------ #
+    # Token game on packed markings
+    # ------------------------------------------------------------------ #
+    def is_enabled(self, marking: int, index: int) -> bool:
+        preset = self.presets[index]
+        return marking & preset == preset
+
+    def enabled_indices(self, marking: int) -> List[int]:
+        """Indices of enabled transitions, in declaration order."""
+        presets = self.presets
+        return [
+            i for i in range(len(presets)) if marking & presets[i] == presets[i]
+        ]
+
+    def fire(self, marking: int, index: int) -> int:
+        """Fire transition ``index``; raises :class:`UnsafeNetError` when the
+        firing would place a second token on a marked place."""
+        preset = self.presets[index]
+        remainder = marking & ~preset
+        postset = self.postsets[index]
+        if remainder & postset:
+            raise UnsafeNetError(
+                "firing %r from packed marking %#x is not safe"
+                % (self.transitions[index], marking)
+            )
+        return remainder | postset
+
+    def transition_index(self, transition: str) -> int:
+        return self._transition_index[transition]
+
+    def __repr__(self) -> str:
+        return "PackedNet(%r, places=%d, transitions=%d)" % (
+            self.net.name,
+            len(self.codec.places),
+            len(self.transitions),
+        )
+
+
+def _packable(net) -> Tuple[bool, str]:
+    """Check arc weights and the initial marking for packed representability."""
+    for transition in net.transitions:
+        for place, weight in net.preset(transition).items():
+            if weight > 1:
+                return False, "arc %s -> %s has weight %d" % (place, transition, weight)
+        for place, weight in net.postset(transition).items():
+            if weight > 1:
+                return False, "arc %s -> %s has weight %d" % (transition, place, weight)
+    if not net.initial_marking.is_safe():
+        return False, "initial marking is not safe"
+    return True, ""

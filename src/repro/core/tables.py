@@ -1,0 +1,105 @@
+"""Interned name tables: stable index + bit position per name.
+
+A :class:`NameTable` assigns every interned name a stable integer index in
+insertion order; index ``i`` doubles as bit position ``1 << i`` in any packed
+word (code or marking) built against the table.  :class:`SignalTable` and
+:class:`PlaceTable` are thin domain-specific subclasses so type annotations
+document which space a packed word lives in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["NameTable", "SignalTable", "PlaceTable"]
+
+
+class NameTable:
+    """An ordered, interned name <-> index mapping.
+
+    The table is append-only: once interned, a name keeps its index (and
+    therefore its bit position) forever, so packed words built at different
+    times against the same table stay comparable.
+    """
+
+    __slots__ = ("_names", "_index")
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._names: List[str] = []
+        self._index: Dict[str, int] = {}
+        for name in names:
+            self.intern(name)
+
+    def intern(self, name: str) -> int:
+        """Intern a name (idempotent) and return its index."""
+        index = self._index.get(name)
+        if index is None:
+            index = len(self._names)
+            self._names.append(name)
+            self._index[name] = index
+        return index
+
+    def index(self, name: str) -> int:
+        """Index of an interned name; raises ``KeyError`` if unknown."""
+        return self._index[name]
+
+    def get(self, name: str) -> Optional[int]:
+        """Index of a name, or ``None`` if it was never interned."""
+        return self._index.get(name)
+
+    def name_of(self, index: int) -> str:
+        """Name at an index."""
+        return self._names[index]
+
+    def bit(self, name: str) -> int:
+        """Bit mask (``1 << index``) of an interned name."""
+        return 1 << self._index[name]
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._names)
+
+    @property
+    def full_mask(self) -> int:
+        """Mask with one bit set per interned name."""
+        return (1 << len(self._names)) - 1
+
+    def mask_of(self, names: Iterable[str]) -> int:
+        """Bit mask covering all the given (interned) names."""
+        mask = 0
+        for name in names:
+            mask |= 1 << self._index[name]
+        return mask
+
+    def names_in(self, mask: int) -> List[str]:
+        """Names whose bits are set in ``mask``, in index order."""
+        result: List[str] = []
+        while mask:
+            low = mask & -mask
+            result.append(self._names[low.bit_length() - 1])
+            mask ^= low
+        return result
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __repr__(self) -> str:
+        return "%s(%d names)" % (type(self).__name__, len(self._names))
+
+
+class SignalTable(NameTable):
+    """Name table for STG signals: bit ``i`` of a packed code is signal ``i``."""
+
+    __slots__ = ()
+
+
+class PlaceTable(NameTable):
+    """Name table for net places: bit ``i`` of a packed marking is place ``i``."""
+
+    __slots__ = ()

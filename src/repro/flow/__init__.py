@@ -1,5 +1,17 @@
-"""Experiment flow: harnesses for the paper's tables and figures."""
+"""Experiment flow: harnesses for the paper's tables and figures.
 
+Serial harnesses (:func:`run_table1`, :func:`run_figure6`,
+:func:`run_counterflow`) regenerate the paper's evaluation row by row;
+:mod:`repro.flow.batch` fans the same rows out across worker processes with
+per-task timeouts and merges the results (``repro-synth batch``).
+"""
+
+from .batch import (
+    row_outcome,
+    run_figure6_batch,
+    run_table1_batch,
+    write_batch_json,
+)
 from .experiments import (
     DEFAULT_METHODS,
     Table1Row,
@@ -13,7 +25,11 @@ __all__ = [
     "DEFAULT_METHODS",
     "Table1Row",
     "format_table",
+    "row_outcome",
     "run_counterflow",
     "run_figure6",
+    "run_figure6_batch",
     "run_table1",
+    "run_table1_batch",
+    "write_batch_json",
 ]

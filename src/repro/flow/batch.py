@@ -1,0 +1,192 @@
+"""Process-parallel experiment batch runner.
+
+With the packed state core a single Table 1 row is cheap, so the wall-clock
+cost of a full sweep is dominated by how many rows run *at once*.  This
+module fans experiment rows out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+-- one worker process per row -- and merges the results back in submission
+order, so ``repro-synth batch --jobs N`` produces exactly the rows of the
+serial harness, N rows at a time.
+
+Timeouts act at two levels:
+
+* inside each worker, :func:`~repro.flow.experiments.run_table1` enforces
+  the per-method budget cooperatively and records ``"timeout"`` outcomes;
+* the parent additionally bounds its wait per row; a row that blows the
+  parent-side budget is merged as ``{"outcome": "timeout"}`` and its worker
+  is abandoned (process pools cannot kill individual members, so a hung
+  worker occupies a slot until the pool shuts down).
+
+Every merged row carries an ``outcome`` key (``"ok"`` / ``"error"`` /
+``"timeout"``), the aggregate of its per-method outcomes, which is what the
+CI smoke gate checks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Dict, List, Optional, Sequence
+
+from ..stg import benchmark_by_name, table1_suite
+from .experiments import DEFAULT_METHODS, run_figure6, run_table1
+
+__all__ = [
+    "run_table1_batch",
+    "run_figure6_batch",
+    "row_outcome",
+    "write_batch_json",
+]
+
+
+def row_outcome(row: Dict[str, object]) -> str:
+    """Aggregate per-method outcomes of a row into one verdict.
+
+    ``"error"`` dominates ``"timeout"`` dominates ``"ok"``; methods that
+    were skipped by a size limit do not count against the row.  A failed
+    conformance simulation (``Conf == "error"``) also marks the row.
+    """
+    outcomes = {
+        value
+        for key, value in row.items()
+        if key == "outcome" or key.endswith("_outcome")
+    }
+    if row.get("Conf") == "error":
+        outcomes.add("error")
+    for verdict in ("error", "timeout"):
+        if verdict in outcomes:
+            return verdict
+    return "ok"
+
+
+def _table1_row_task(args: Dict[str, object]) -> Dict[str, object]:
+    """Worker: one Table 1 row, addressed by benchmark name (picklable)."""
+    entry = benchmark_by_name(args["name"])
+    rows = run_table1(
+        entries=[entry],
+        methods=tuple(args["methods"]),
+        max_states=args["max_states"],
+        conformance=args["conformance"],
+        conformance_max_states=args["conformance_max_states"],
+        timeout=args["timeout"],
+    )
+    return dict(rows[0])
+
+
+def _figure6_row_task(args: Dict[str, object]) -> Dict[str, object]:
+    """Worker: one Figure 6 row, addressed by stage count."""
+    rows = run_figure6(
+        stage_counts=(args["stages"],),
+        methods=tuple(args["methods"]),
+        method_limits=args["method_limits"],
+        max_states=args["max_states"],
+        timeout=args["timeout"],
+    )
+    return dict(rows[0])
+
+
+def _run_batch(
+    worker,
+    task_args: Sequence[Dict[str, object]],
+    placeholders: Sequence[Dict[str, object]],
+    jobs: Optional[int],
+    task_timeout: Optional[float],
+) -> List[Dict[str, object]]:
+    """Fan tasks out over a process pool, merging in submission order."""
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(jobs, len(task_args) or 1))
+    rows: List[Dict[str, object]] = []
+    # A worker needs room for the in-worker cooperative timeout to fire and
+    # the row to travel back before the parent-side backstop gives up on it.
+    parent_budget = None if task_timeout is None else task_timeout * 2 + 10.0
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(worker, args) for args in task_args]
+        for future, placeholder in zip(futures, placeholders):
+            try:
+                row = future.result(timeout=parent_budget)
+            except FutureTimeoutError:
+                row = dict(placeholder)
+                row["outcome"] = "timeout"
+                rows.append(row)
+                continue
+            except Exception as exc:  # worker crashed (or was killed)
+                row = dict(placeholder)
+                row["outcome"] = "error"
+                row["error"] = "%s: %s" % (type(exc).__name__, exc)
+                rows.append(row)
+                continue
+            row["outcome"] = row_outcome(row)
+            rows.append(row)
+    return rows
+
+
+def run_table1_batch(
+    names: Optional[Sequence[str]] = None,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    jobs: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    max_states: Optional[int] = 200000,
+    conformance: bool = True,
+    conformance_max_states: Optional[int] = 100000,
+) -> List[Dict[str, object]]:
+    """Run Table 1 rows in parallel, one benchmark per worker process.
+
+    Returns the same merged rows as the serial :func:`run_table1` (plus the
+    aggregate ``outcome`` column), in suite order.
+    """
+    if names is None:
+        names = [entry.name for entry in table1_suite()]
+    task_args = [
+        {
+            "name": name,
+            "methods": list(methods),
+            "max_states": max_states,
+            "conformance": conformance,
+            "conformance_max_states": conformance_max_states,
+            "timeout": task_timeout,
+        }
+        for name in names
+    ]
+    placeholders = [{"benchmark": name} for name in names]
+    return _run_batch(_table1_row_task, task_args, placeholders, jobs, task_timeout)
+
+
+def run_figure6_batch(
+    stage_counts: Sequence[int] = (2, 4, 6, 8, 10, 12),
+    methods: Sequence[str] = DEFAULT_METHODS,
+    method_limits: Optional[Dict[str, int]] = None,
+    jobs: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    max_states: Optional[int] = 300000,
+) -> List[Dict[str, object]]:
+    """Run Figure 6 rows in parallel, one stage count per worker process."""
+    task_args = [
+        {
+            "stages": stages,
+            "methods": list(methods),
+            "method_limits": method_limits,
+            "max_states": max_states,
+            "timeout": task_timeout,
+        }
+        for stages in stage_counts
+    ]
+    placeholders = [{"stages": stages} for stages in stage_counts]
+    return _run_batch(_figure6_row_task, task_args, placeholders, jobs, task_timeout)
+
+
+def write_batch_json(path: str, kind: str, rows: Sequence[Dict[str, object]]) -> None:
+    """Write merged batch rows as a machine-readable JSON document."""
+    payload = {
+        "kind": kind,
+        "rows": [dict(row) for row in rows],
+        "outcomes": {
+            "ok": sum(1 for row in rows if row.get("outcome") == "ok"),
+            "timeout": sum(1 for row in rows if row.get("outcome") == "timeout"),
+            "error": sum(1 for row in rows if row.get("outcome") == "error"),
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

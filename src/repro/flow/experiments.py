@@ -15,8 +15,9 @@ used from the pytest-benchmark harness, the CLI and EXPERIMENTS.md alike.
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..sim import simulate_implementation
 from ..stg import BenchmarkEntry, counterflow_pipeline, muller_pipeline, table1_suite
@@ -37,17 +38,47 @@ class Table1Row(dict):
     """One row of the Table 1 reproduction (a dict with fixed keys)."""
 
 
-def _synthesize_timed(stg, method: str, max_states: Optional[int], timeout: Optional[float]):
-    """Run one synthesis, returning (result, wall_time) or (None, wall_time)."""
+def _synthesize_timed(
+    stg, method: str, max_states: Optional[int], timeout: Optional[float]
+) -> Tuple[Optional[object], float, str]:
+    """Run one synthesis under an optional wall-clock budget.
+
+    Returns ``(result, elapsed, outcome)`` with outcome ``"ok"``,
+    ``"error"`` or ``"timeout"``; ``result`` is ``None`` unless ``"ok"``.
+
+    The budget is enforced by running the synthesis in a daemon worker
+    thread and abandoning it when the deadline passes -- the thread cannot
+    be killed, so an over-budget synthesis may keep burning CPU until it
+    finishes on its own.  The batch runner
+    (:mod:`repro.flow.batch`) wraps whole rows in worker *processes*, where
+    a timeout genuinely frees the core.
+    """
+    if timeout is None:
+        start = time.perf_counter()
+        try:
+            result = synthesize(stg, method=method, max_states=max_states)
+        except Exception:
+            return None, time.perf_counter() - start, "error"
+        return result, time.perf_counter() - start, "ok"
+
+    box: Dict[str, object] = {}
+
+    def worker() -> None:
+        try:
+            box["result"] = synthesize(stg, method=method, max_states=max_states)
+        except Exception as exc:
+            box["error"] = exc
+
+    thread = threading.Thread(target=worker, daemon=True)
     start = time.perf_counter()
-    try:
-        result = synthesize(stg, method=method, max_states=max_states)
-    except Exception:
-        return None, time.perf_counter() - start
+    thread.start()
+    thread.join(timeout)
     elapsed = time.perf_counter() - start
-    if timeout is not None and elapsed > timeout:
-        return result, elapsed
-    return result, elapsed
+    if thread.is_alive():
+        return None, elapsed, "timeout"
+    if "error" in box:
+        return None, elapsed, "error"
+    return box["result"], elapsed, "ok"
 
 
 def run_table1(
@@ -56,6 +87,7 @@ def run_table1(
     max_states: Optional[int] = 200000,
     conformance: bool = True,
     conformance_max_states: Optional[int] = 100000,
+    timeout: Optional[float] = None,
 ) -> List[Table1Row]:
     """Reproduce Table 1 on the benchmark suite.
 
@@ -69,6 +101,11 @@ def run_table1(
     whose implementation was executed: ``unfolding-approx`` when present in
     ``methods`` (it supplies the headline UnfTim/LitCnt columns), otherwise
     the first method that produced a CSC-conflict-free circuit.
+
+    ``timeout`` is a per-method wall-clock budget in seconds; a method that
+    exceeds it is recorded with outcome ``"timeout"`` (distinct from
+    ``"error"``) in the row's ``<method>_outcome`` column and ``None``
+    totals.
     """
     if entries is None:
         entries = table1_suite()
@@ -85,8 +122,9 @@ def run_table1(
         simulated: Optional[object] = None
         simulated_method: Optional[str] = None
         for method in methods:
-            result, elapsed = _synthesize_timed(stg, method, max_states, None)
+            result, elapsed, outcome = _synthesize_timed(stg, method, max_states, timeout)
             prefix = method
+            row["%s_outcome" % prefix] = outcome
             if result is None:
                 row["%s_total" % prefix] = None
                 row["%s_literals" % prefix] = None
@@ -127,13 +165,15 @@ def run_figure6(
     methods: Sequence[str] = DEFAULT_METHODS,
     method_limits: Optional[Dict[str, int]] = None,
     max_states: Optional[int] = 300000,
+    timeout: Optional[float] = None,
 ) -> List[Dict[str, object]]:
     """Reproduce the Figure 6 scaling experiment on the Muller pipeline.
 
     ``method_limits`` maps a method name to the largest number of *signals*
     it is attempted on (mirroring how the paper reports SIS and Petrify
     dropping out as the specification grows); beyond the limit the method's
-    entry is ``None``.
+    entry is ``None``.  ``timeout`` is a per-method wall-clock budget; see
+    :func:`run_table1`.
     """
     if method_limits is None:
         method_limits = {"sg-explicit": 12, "sg-bdd": 14, "unfolding-exact": 14}
@@ -145,9 +185,11 @@ def run_figure6(
             limit = method_limits.get(method)
             if limit is not None and stg.num_signals > limit:
                 row[method] = None
+                row["%s_outcome" % method] = "skipped"
                 continue
-            result, elapsed = _synthesize_timed(stg, method, max_states, None)
+            result, elapsed, outcome = _synthesize_timed(stg, method, max_states, timeout)
             row[method] = round(elapsed, 4) if result is not None else None
+            row["%s_outcome" % method] = outcome
             if result is not None:
                 row["%s_literals" % method] = result.literal_count
         rows.append(row)
@@ -160,7 +202,7 @@ def run_counterflow(
 ) -> Dict[str, object]:
     """Synthesise the counterflow-pipeline stand-in (34 signals by default)."""
     stg = counterflow_pipeline(stages_per_direction)
-    result, elapsed = _synthesize_timed(stg, method, None, None)
+    result, elapsed, _outcome = _synthesize_timed(stg, method, None, None)
     return {
         "signals": stg.num_signals,
         "method": method,

@@ -7,13 +7,24 @@ with.  Exploration is plain breadth-first search with an optional state
 budget so experiments can record "did not finish" outcomes instead of
 exhausting memory, mirroring how the paper reports tools choking on large
 specifications.
+
+Two engines share the :class:`ReachabilityGraph` result type:
+
+* the **packed** fast path (default for safe, weight-1 nets) runs the BFS on
+  :class:`~repro.core.PackedNet` integer markings -- bit ``i`` of a marking
+  word is the token count of place ``i`` -- and materialises dict-backed
+  :class:`Marking` objects lazily, only when a caller asks for them;
+* the **legacy** dict-based token game handles non-safe nets and arc
+  weights > 1, and doubles as the reference implementation the equivalence
+  test-suite compares the packed engine against.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
+from ..core import LazyDecodedList, MarkingCodec, PackedNet, UnsafeNetError
 from .marking import Marking
 from .net import PetriNet, PetriNetError
 
@@ -36,31 +47,69 @@ class ReachabilityGraph:
     net:
         The explored net.
     markings:
-        List of reachable markings; index 0 is the initial marking.
+        Sequence of reachable markings; index 0 is the initial marking.
+        When the graph was built by the packed engine this is a lazy view
+        decoding bitmask markings on demand.
     edges:
         List of ``(source_index, transition, target_index)`` triples.
     """
 
-    def __init__(self, net: PetriNet) -> None:
+    def __init__(self, net: PetriNet, codec: Optional[MarkingCodec] = None) -> None:
         self.net = net
-        self.markings: List[Marking] = []
         self.edges: List[Tuple[int, str, int]] = []
-        self._index: Dict[Marking, int] = {}
+        self._codec = codec
+        self._packed: Optional[List[int]] = [] if codec is not None else None
+        self._marking_list: Union[List[Marking], LazyDecodedList]
+        if codec is not None:
+            self._marking_list = LazyDecodedList(self._packed, codec.decode)
+        else:
+            self._marking_list = []
+        # Keys are packed ints (packed mode) or Marking objects (legacy mode).
+        self._index: Dict[object, int] = {}
         self._successors: Dict[int, List[Tuple[str, int]]] = {}
         self._predecessors: Dict[int, List[Tuple[str, int]]] = {}
 
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
+    @property
+    def markings(self):
+        return self._marking_list
+
+    @property
+    def is_packed(self) -> bool:
+        """True when states are stored as bitmask ints."""
+        return self._packed is not None
+
+    def packed_marking(self, index: int) -> int:
+        """Bitmask of a state (packed graphs only)."""
+        if self._packed is None:
+            raise PetriNetError("graph was not built by the packed engine")
+        return self._packed[index]
+
     def add_marking(self, marking: Marking) -> int:
         """Register a marking (idempotent) and return its index."""
+        if self._packed is not None:
+            return self._add_packed(self._codec.encode(marking))
         index = self._index.get(marking)
         if index is None:
-            index = len(self.markings)
-            self.markings.append(marking)
+            index = self._new_state()
             self._index[marking] = index
-            self._successors[index] = []
-            self._predecessors[index] = []
+            self._marking_list.append(marking)
+        return index
+
+    def _add_packed(self, word: int) -> int:
+        index = self._index.get(word)
+        if index is None:
+            index = self._new_state()
+            self._index[word] = index
+            self._packed.append(word)
+        return index
+
+    def _new_state(self) -> int:
+        index = len(self._index)
+        self._successors[index] = []
+        self._predecessors[index] = []
         return index
 
     def add_edge(self, source: int, transition: str, target: int) -> None:
@@ -73,11 +122,11 @@ class ReachabilityGraph:
     # Queries
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self.markings)
+        return len(self._marking_list)
 
     @property
     def num_states(self) -> int:
-        return len(self.markings)
+        return len(self._marking_list)
 
     @property
     def num_edges(self) -> int:
@@ -85,18 +134,29 @@ class ReachabilityGraph:
 
     def index_of(self, marking: Marking) -> Optional[int]:
         """Index of the marking, or ``None`` if unreachable."""
+        if self._packed is not None:
+            try:
+                return self._index.get(self._codec.encode(marking))
+            except UnsafeNetError:
+                return None  # non-safe markings are unreachable in packed graphs
         return self._index.get(marking)
 
     def contains(self, marking: Marking) -> bool:
-        return marking in self._index
+        return self.index_of(marking) is not None
 
     def successors(self, index: int) -> List[Tuple[str, int]]:
-        """Outgoing ``(transition, target)`` pairs of a state."""
-        return list(self._successors[index])
+        """Outgoing ``(transition, target)`` pairs of a state.
+
+        Returns the stored list -- callers must not mutate it.
+        """
+        return self._successors[index]
 
     def predecessors(self, index: int) -> List[Tuple[str, int]]:
-        """Incoming ``(transition, source)`` pairs of a state."""
-        return list(self._predecessors[index])
+        """Incoming ``(transition, source)`` pairs of a state.
+
+        Returns the stored list -- callers must not mutate it.
+        """
+        return self._predecessors[index]
 
     def enabled_at(self, index: int) -> List[str]:
         """Transitions enabled in the given state."""
@@ -104,16 +164,20 @@ class ReachabilityGraph:
 
     def deadlocks(self) -> List[int]:
         """Indices of states with no enabled transitions."""
-        return [i for i in range(len(self.markings)) if not self._successors[i]]
+        return [i for i in range(self.num_states) if not self._successors[i]]
 
     def is_safe(self) -> bool:
         """True if every reachable marking is 1-bounded."""
-        return all(marking.is_safe() for marking in self.markings)
+        if self._packed is not None:
+            return True  # packed markings are 1-bounded by construction
+        return all(marking.is_safe() for marking in self._marking_list)
 
     def bound(self) -> int:
         """Maximum token count of any place over all reachable markings."""
+        if self._packed is not None:
+            return 1 if any(self._packed) else 0
         maximum = 0
-        for marking in self.markings:
+        for marking in self._marking_list:
             for _place, tokens in marking.items():
                 maximum = max(maximum, tokens)
         return maximum
@@ -122,7 +186,7 @@ class ReachabilityGraph:
         """All states from which ``transition`` can fire."""
         return [
             i
-            for i in range(len(self.markings))
+            for i in range(self.num_states)
             if self.net.is_enabled(self.markings[i], transition)
         ]
 
@@ -137,6 +201,7 @@ def explore(
     net: PetriNet,
     initial: Optional[Marking] = None,
     max_states: Optional[int] = None,
+    packed: Optional[bool] = None,
 ) -> ReachabilityGraph:
     """Breadth-first exploration of the reachability graph.
 
@@ -149,9 +214,78 @@ def explore(
     max_states:
         Optional budget; :class:`StateSpaceLimitExceeded` is raised when more
         states than this would be generated.
+    packed:
+        Force (``True``) or forbid (``False``) the packed bitmask engine;
+        the default picks packed whenever the net qualifies.  A net that
+        turns out to be non-safe mid-exploration transparently falls back
+        to the dict-based engine.
     """
-    graph = ReachabilityGraph(net)
     start = initial if initial is not None else net.initial_marking
+    use_packed = PackedNet.is_packable(net) if packed is None else packed
+    if use_packed and start.is_safe():
+        try:
+            return _explore_packed(net, start, max_states)
+        except UnsafeNetError:
+            pass  # a reachable marking is not 1-bounded: use the fallback
+    return _explore_legacy(net, start, max_states)
+
+
+def _explore_packed(
+    net: PetriNet, start: Marking, max_states: Optional[int]
+) -> ReachabilityGraph:
+    pnet = PackedNet(net)
+    graph = ReachabilityGraph(net, codec=pnet.codec)
+    transitions = pnet.transitions
+    presets = pnet.presets
+    postsets = pnet.postsets
+    ntrans = len(transitions)
+
+    index_of = graph._index
+    packed = graph._packed
+    successors = graph._successors
+    predecessors = graph._predecessors
+    edges = graph.edges
+
+    word = pnet.codec.encode(start)
+    graph._add_packed(word)
+    queue = deque([0])
+    while queue:
+        source = queue.popleft()
+        marking = packed[source]
+        source_successors = successors[source]
+        for t in range(ntrans):
+            preset = presets[t]
+            if marking & preset != preset:
+                continue
+            remainder = marking & ~preset
+            postset = postsets[t]
+            if remainder & postset:
+                raise UnsafeNetError(
+                    "firing %r from packed marking %#x is not safe"
+                    % (transitions[t], marking)
+                )
+            successor = remainder | postset
+            target = index_of.get(successor)
+            if target is None:
+                target = len(index_of)
+                index_of[successor] = target
+                packed.append(successor)
+                successors[target] = []
+                predecessors[target] = []
+                if max_states is not None and len(packed) > max_states:
+                    raise StateSpaceLimitExceeded(max_states)
+                queue.append(target)
+            transition = transitions[t]
+            edges.append((source, transition, target))
+            source_successors.append((transition, target))
+            predecessors[target].append((transition, source))
+    return graph
+
+
+def _explore_legacy(
+    net: PetriNet, start: Marking, max_states: Optional[int]
+) -> ReachabilityGraph:
+    graph = ReachabilityGraph(net)
     queue = deque([graph.add_marking(start)])
     explored: Set[int] = set()
     while queue:

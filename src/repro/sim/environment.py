@@ -15,19 +15,28 @@ infeasible to enumerate.  Because a trace of signal changes does not always
 identify a unique marking (label splitting, dummies), the environment tracks
 the *set* of markings consistent with the observed history, closed under
 dummy-transition firing.
+
+When the net is safe and weight-1 the environment also offers a *packed*
+twin of every game move (``*_packed`` methods) where a marking is one int
+(bit ``i`` = token on place ``i``, see :mod:`repro.core`) and a tracked set
+is a frozenset of ints; the exhaustive simulator runs on this
+representation and only decodes for diagnostics.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..core import PackedNet, UnsafeNetError
 from ..petrinet import Marking
 from ..stg import STG
 
 __all__ = ["SpecEnvironment"]
 
 TrackedStates = FrozenSet[Marking]
+# Packed twin of TrackedStates: the tracked markings as bitmask ints.
+PackedTracked = FrozenSet[int]
 
 
 class SpecEnvironment:
@@ -47,6 +56,16 @@ class SpecEnvironment:
         # transitions, successors through dummies handled by the closure.
         self._labelled: Dict[Marking, List[Tuple[str, int, Marking]]] = {}
         self._dummy: Dict[Marking, List[Marking]] = {}
+        # Packed twin: markings as bitmask ints over the net's PlaceTable.
+        try:
+            self._packed_net: Optional[PackedNet] = PackedNet(stg.net)
+        except UnsafeNetError:
+            self._packed_net = None
+        self._plabelled: Dict[int, List[Tuple[str, int, int]]] = {}
+        self._pdummy: Dict[int, List[int]] = {}
+        self._signal_bit: Dict[str, int] = {
+            signal: index for index, signal in enumerate(stg.signals)
+        }
 
     # ------------------------------------------------------------------ #
     # Cached token game
@@ -135,8 +154,100 @@ class SpecEnvironment:
             return frozenset()
         return self.closure(successors)
 
+    # ------------------------------------------------------------------ #
+    # Packed twin of the token game (markings as bitmask ints)
+    # ------------------------------------------------------------------ #
+    @property
+    def supports_packed(self) -> bool:
+        """True when the specification net admits the packed token game."""
+        return self._packed_net is not None
+
+    def _expand_packed(self, word: int) -> None:
+        if word in self._plabelled:
+            return
+        pnet = self._packed_net
+        labelled: List[Tuple[str, int, int]] = []
+        dummy: List[int] = []
+        label_of = self.stg.label_of
+        transitions = pnet.transitions
+        presets = pnet.presets
+        postsets = pnet.postsets
+        for t in range(len(transitions)):
+            preset = presets[t]
+            if word & preset != preset:
+                continue
+            remainder = word & ~preset
+            postset = postsets[t]
+            if remainder & postset:
+                raise UnsafeNetError(
+                    "firing %r from packed marking %#x is not safe"
+                    % (transitions[t], word)
+                )
+            successor = remainder | postset
+            label = label_of(transitions[t])
+            if label is None:
+                dummy.append(successor)
+            else:
+                labelled.append((label.signal, label.target_value, successor))
+        self._plabelled[word] = labelled
+        self._pdummy[word] = dummy
+
+    def closure_packed(self, words: Iterable[int]) -> PackedTracked:
+        """Close a set of packed markings under dummy-transition firing."""
+        seen: Set[int] = set(words)
+        queue = deque(seen)
+        while queue:
+            word = queue.popleft()
+            self._expand_packed(word)
+            for successor in self._pdummy[word]:
+                if successor not in seen:
+                    seen.add(successor)
+                    queue.append(successor)
+        return frozenset(seen)
+
+    def initial_states_packed(self) -> PackedTracked:
+        """Packed tracked set for the start of the game."""
+        return self.closure_packed([self._packed_net.initial])
+
+    def enabled_changes_packed(self, tracked: PackedTracked) -> Set[Tuple[str, int]]:
+        """All signal changes enabled in some tracked packed marking."""
+        changes: Set[Tuple[str, int]] = set()
+        for word in tracked:
+            self._expand_packed(word)
+            for signal, target, _successor in self._plabelled[word]:
+                changes.add((signal, target))
+        return changes
+
+    def enabled_input_changes_packed(
+        self, tracked: PackedTracked, code_word: int
+    ) -> List[Tuple[str, int]]:
+        """Input changes consistent with the packed circuit code."""
+        allowed: List[Tuple[str, int]] = []
+        input_signals = self.input_signals
+        signal_bit = self._signal_bit
+        for signal, target in sorted(self.enabled_changes_packed(tracked)):
+            if signal not in input_signals:
+                continue
+            if (code_word >> signal_bit[signal]) & 1 == 1 - target:
+                allowed.append((signal, target))
+        return allowed
+
+    def advance_packed(
+        self, tracked: PackedTracked, signal: str, target_value: int
+    ) -> PackedTracked:
+        """Packed tracked set after observing one signal change."""
+        successors: Set[int] = set()
+        for word in tracked:
+            self._expand_packed(word)
+            for spec_signal, spec_target, successor in self._plabelled[word]:
+                if spec_signal == signal and spec_target == target_value:
+                    successors.add(successor)
+        if not successors:
+            return frozenset()
+        return self.closure_packed(successors)
+
     def __repr__(self) -> str:
         return "SpecEnvironment(%r, cached_markings=%d)" % (
             self.stg.name,
-            len(self._labelled),
+            len(self._labelled) + len(self._plabelled),
         )

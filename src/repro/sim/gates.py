@@ -29,10 +29,56 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (synthesis -> sim)
 __all__ = ["CircuitModel"]
 
 
-class _CompiledGate:
-    """One gate with its cover inputs mapped to circuit code positions."""
+def _remap_cover_masks(
+    cover, permutation: Optional[List[int]]
+) -> List[Tuple[int, int]]:
+    """Compile a cover into ``(ones, zeros)`` masks over *global* signal bits.
 
-    __slots__ = ("signal", "index", "function", "set_function", "reset_function", "permutation")
+    Gate covers are defined over the gate's own variable order; remapping
+    each cube's bit positions through the permutation once at compile time
+    lets the simulator evaluate gates directly on packed circuit codes.
+    """
+    pairs: List[Tuple[int, int]] = []
+    for cube in cover:
+        if permutation is None:
+            pairs.append((cube.ones, cube.zeros))
+            continue
+        ones = 0
+        mask = cube.ones
+        while mask:
+            low = mask & -mask
+            ones |= 1 << permutation[low.bit_length() - 1]
+            mask ^= low
+        zeros = 0
+        mask = cube.zeros
+        while mask:
+            low = mask & -mask
+            zeros |= 1 << permutation[low.bit_length() - 1]
+            mask ^= low
+        pairs.append((ones, zeros))
+    return pairs
+
+
+class _CompiledGate:
+    """One gate with its cover inputs mapped to circuit code positions.
+
+    Each cover is additionally compiled to ``(ones, zeros)`` mask pairs in
+    the global signal space so the gate can be evaluated on a packed code
+    word: a cube covers the word iff ``ones & ~word == 0 and
+    zeros & word == 0``.
+    """
+
+    __slots__ = (
+        "signal",
+        "index",
+        "function",
+        "set_function",
+        "reset_function",
+        "permutation",
+        "packed_function",
+        "packed_set",
+        "packed_reset",
+    )
 
     def __init__(
         self,
@@ -49,6 +95,21 @@ class _CompiledGate:
         self.set_function = set_function
         self.reset_function = reset_function
         self.permutation = permutation
+        self.packed_function = (
+            _remap_cover_masks(function.cover, permutation)
+            if function is not None
+            else None
+        )
+        self.packed_set = (
+            _remap_cover_masks(set_function.cover, permutation)
+            if set_function is not None
+            else None
+        )
+        self.packed_reset = (
+            _remap_cover_masks(reset_function.cover, permutation)
+            if reset_function is not None
+            else None
+        )
 
     def _project(self, code: Sequence[int]) -> Sequence[int]:
         if self.permutation is None:
@@ -67,6 +128,31 @@ class _CompiledGate:
             return (1 if self.function.evaluate_vector(vector) else 0), False
         set_high = bool(self.set_function.evaluate_vector(vector))
         reset_high = bool(self.reset_function.evaluate_vector(vector))
+        if set_high and reset_high:
+            return None, True
+        if set_high:
+            return 1, False
+        if reset_high:
+            return 0, False
+        return None, False
+
+    def evaluate_packed(self, word: int) -> Tuple[Optional[int], bool]:
+        """Packed-code twin of :meth:`evaluate` (``word`` bit i = signal i)."""
+        if self.packed_function is not None:
+            for ones, zeros in self.packed_function:
+                if not (ones & ~word) and not (zeros & word):
+                    return 1, False
+            return 0, False
+        set_high = False
+        for ones, zeros in self.packed_set:
+            if not (ones & ~word) and not (zeros & word):
+                set_high = True
+                break
+        reset_high = False
+        for ones, zeros in self.packed_reset:
+            if not (ones & ~word) and not (zeros & word):
+                reset_high = True
+                break
         if set_high and reset_high:
             return None, True
         if set_high:
@@ -159,6 +245,36 @@ class CircuitModel:
         if not self.stg.has_complete_initial_state():
             self.stg.infer_initial_state()
         return self.stg.initial_code()
+
+    # ------------------------------------------------------------------ #
+    # Packed-code twins (word bit i = value of signal i)
+    # ------------------------------------------------------------------ #
+    def excitation_packed(self, word: int) -> Dict[str, int]:
+        """Excited gates in the packed code ``word``."""
+        excited: Dict[str, int] = {}
+        for gate in self._gates:
+            target, _conflict = gate.evaluate_packed(word)
+            if target is not None and target != (word >> gate.index) & 1:
+                excited[gate.signal] = target
+        return excited
+
+    def drive_conflicts_packed(self, word: int) -> List[str]:
+        """Signals whose set and reset functions are both true in ``word``."""
+        return [
+            gate.signal for gate in self._gates if gate.evaluate_packed(word)[1]
+        ]
+
+    def fire_packed(self, word: int, signal: str, target_value: int) -> int:
+        """Packed code after the given signal settles to ``target_value``."""
+        bit = 1 << self._index[signal]
+        return (word | bit) if target_value else (word & ~bit)
+
+    def initial_packed_code(self) -> int:
+        word = 0
+        for index, value in enumerate(self.initial_code()):
+            if value:
+                word |= 1 << index
+        return word
 
     def __repr__(self) -> str:
         return "CircuitModel(%r, %s, gates=%d)" % (

@@ -18,6 +18,13 @@ A closed-loop state is a pair ``(code, tracked)`` of the circuit's binary
 code and the set of specification markings consistent with the trace; the
 exploration is a plain breadth-first search over those pairs with an
 optional state budget for the experiment harnesses.
+
+Two engines produce identical results: the **packed** engine (default for
+safe, weight-1 specification nets) keeps the code as one int (bit ``i`` =
+signal ``i``), the tracked set as a frozenset of marking bitmasks and
+evaluates gates on mask pairs compiled into the global signal space; the
+**legacy** engine runs on tuples and dict-backed markings and acts as the
+reference the equivalence suite checks the packed engine against.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
+from ..core import UnsafeNetError, unpack_code
 from ..petrinet import StateSpaceLimitExceeded
 from ..stg import STG
 from .environment import SpecEnvironment, TrackedStates
@@ -188,13 +196,25 @@ class Simulator:
         signal order and initial state).
     implementation:
         The synthesised gate-level implementation to execute.
+    packed:
+        Force (``True``) / forbid (``False``) the packed engine; the default
+        uses it whenever the specification net is safe and weight-1.
     """
 
-    def __init__(self, stg: STG, implementation: "Implementation") -> None:
+    def __init__(
+        self,
+        stg: STG,
+        implementation: "Implementation",
+        packed: Optional[bool] = None,
+    ) -> None:
         self.stg = stg
         self.implementation = implementation
         self.circuit = CircuitModel(stg, implementation)
         self.environment = SpecEnvironment(stg)
+        if packed is None:
+            self.packed = self.environment.supports_packed
+        else:
+            self.packed = packed and self.environment.supports_packed
 
     # ------------------------------------------------------------------ #
     # Event computation
@@ -222,6 +242,119 @@ class Simulator:
         ``max_reports`` caps each anomaly list so a broken gate on a large
         circuit does not produce millions of identical records.
         """
+        if self.packed:
+            try:
+                return self._explore_packed(max_states, max_reports, raise_on_limit)
+            except UnsafeNetError:
+                pass  # a reachable spec marking is not 1-bounded: fall back
+        return self._explore_legacy(max_states, max_reports, raise_on_limit)
+
+    def _explore_packed(
+        self,
+        max_states: Optional[int],
+        max_reports: int,
+        raise_on_limit: bool,
+    ) -> ExplorationResult:
+        """Packed-engine exploration: int codes, bitmask tracked markings."""
+        import time
+
+        start_time = time.perf_counter()
+        result = ExplorationResult(self.stg.name, self.implementation.architecture)
+        circuit = self.circuit
+        environment = self.environment
+        nsignals = len(circuit.signals)
+
+        initial = (circuit.initial_packed_code(), environment.initial_states_packed())
+        seen = {initial}
+        queue = deque([initial])
+        hazard_seen: Set[Hazard] = set()
+        violation_seen: Set[ConformanceViolation] = set()
+
+        while queue:
+            word, tracked = queue.popleft()
+            result.num_states += 1
+
+            for signal in circuit.drive_conflicts_packed(word):
+                hazard = Hazard("drive-conflict", signal, unpack_code(word, nsignals))
+                if hazard not in hazard_seen and len(result.hazards) < max_reports:
+                    hazard_seen.add(hazard)
+                    result.hazards.append(hazard)
+
+            excitation = circuit.excitation_packed(word)
+            events = [("gate", signal, target) for signal, target in sorted(excitation.items())]
+            events.extend(
+                ("input", signal, target)
+                for signal, target in environment.enabled_input_changes_packed(
+                    tracked, word
+                )
+            )
+            if not events:
+                if len(result.deadlocks) < max_reports:
+                    result.deadlocks.append(Deadlock(unpack_code(word, nsignals)))
+                continue
+
+            num_gate_events = len(excitation)
+            for kind, signal, target_value in events:
+                new_word = circuit.fire_packed(word, signal, target_value)
+                new_tracked = environment.advance_packed(tracked, signal, target_value)
+                result.num_events_fired += 1
+
+                if kind == "gate" and not new_tracked:
+                    violation = ConformanceViolation(
+                        signal, target_value, unpack_code(word, nsignals)
+                    )
+                    if (
+                        violation not in violation_seen
+                        and len(result.violations) < max_reports
+                    ):
+                        violation_seen.add(violation)
+                        result.violations.append(violation)
+                    # The game has left the specification; exploring further
+                    # along this branch would only compound the violation.
+                    continue
+
+                # Persistence check (semi-modularity): every *other* excited
+                # gate must still be excited towards the same value after the
+                # fired event, otherwise the circuit can glitch.  Skip the
+                # excitation recomputation when no other gate was excited.
+                if num_gate_events > (1 if kind == "gate" else 0):
+                    new_excitation = circuit.excitation_packed(new_word)
+                    for other, _target in disabled_excitations(
+                        excitation, new_excitation, signal
+                    ):
+                        hazard = Hazard(
+                            "non-persistent",
+                            other,
+                            unpack_code(word, nsignals),
+                            "%s%s" % (signal, "+" if target_value else "-"),
+                        )
+                        if (
+                            hazard not in hazard_seen
+                            and len(result.hazards) < max_reports
+                        ):
+                            hazard_seen.add(hazard)
+                            result.hazards.append(hazard)
+
+                successor = (new_word, new_tracked)
+                if successor not in seen:
+                    if max_states is not None and len(seen) >= max_states:
+                        if raise_on_limit:
+                            raise StateSpaceLimitExceeded(max_states)
+                        result.truncated = True
+                        continue
+                    seen.add(successor)
+                    queue.append(successor)
+
+        result.elapsed = time.perf_counter() - start_time
+        return result
+
+    def _explore_legacy(
+        self,
+        max_states: Optional[int],
+        max_reports: int,
+        raise_on_limit: bool,
+    ) -> ExplorationResult:
+        """Reference tuple/dict-based exploration (non-safe nets, tests)."""
         import time
 
         start_time = time.perf_counter()

@@ -57,9 +57,9 @@ class CSCReport:
 
 def check_usc(graph: StateGraph) -> CSCReport:
     """Check Unique State Coding: every reachable marking has a unique code."""
-    by_code: Dict[Tuple[int, ...], List[int]] = {}
-    for state in range(graph.num_states):
-        by_code.setdefault(graph.codes[state], []).append(state)
+    by_code: Dict[int, List[int]] = {}
+    for state, code in enumerate(graph.packed_codes):
+        by_code.setdefault(code, []).append(state)
     conflicts: List[Tuple[int, int]] = []
     for states in by_code.values():
         for i in range(len(states)):
@@ -74,18 +74,24 @@ def check_csc(graph: StateGraph) -> CSCReport:
     Two states with equal binary codes must have the same set of excited
     *non-input* signals; otherwise the circuit cannot distinguish them and
     the STG is not implementable without additional state signals.
-    """
-    implementable = set(graph.stg.implementable_signals)
-    by_code: Dict[Tuple[int, ...], List[int]] = {}
-    for state in range(graph.num_states):
-        by_code.setdefault(graph.codes[state], []).append(state)
 
+    States are bucketed by packed code, and the excitation signature of a
+    state is its ``(excited_plus | excited_minus)`` bitmask restricted to
+    implementable signals -- an int comparison instead of set algebra.
+    """
+    implementable_mask = graph.signal_table.mask_of(graph.stg.implementable_signals)
+    by_code: Dict[int, List[int]] = {}
+    for state, code in enumerate(graph.packed_codes):
+        by_code.setdefault(code, []).append(state)
+
+    plus = graph._excited_plus
+    minus = graph._excited_minus
     conflicts: List[Tuple[int, int]] = []
     for states in by_code.values():
         if len(states) < 2:
             continue
         signatures = [
-            frozenset(graph.excited_signals(state) & implementable) for state in states
+            (plus[state] | minus[state]) & implementable_mask for state in states
         ]
         for i in range(len(states)):
             for j in range(i + 1, len(states)):

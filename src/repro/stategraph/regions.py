@@ -13,11 +13,17 @@ For a signal ``a`` the State Graph is partitioned into
 These are exactly the sets from which the atomic-complex-gate-per-signal
 implementation is derived (Section 2.2), and they also provide the set/reset
 excitation functions used by the C-element / RS-latch architectures.
+
+All extraction runs on the packed representation: per-state excitation
+bitmasks answer "is signal ``i`` excited" with one AND, the implied word
+``(code & ~excited_minus) | (excited_plus & ~code)`` classifies all signals
+of a state at once, and a packed code *is* a cube minterm, so building the
+region covers needs no per-bit loops.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from ..boolean import Cover, Cube
 from ..stg.signals import Direction
@@ -37,62 +43,70 @@ __all__ = [
 
 def excitation_region(graph: StateGraph, signal: str, direction: Direction) -> Set[int]:
     """States where a transition ``signal``/``direction`` is enabled."""
-    return {
-        state
-        for state in range(graph.num_states)
-        if graph.is_excited(state, signal, direction)
-    }
+    bit = 1 << graph.signal_table.index(signal)
+    masks = (
+        graph._excited_plus if direction is Direction.PLUS else graph._excited_minus
+    )
+    return {state for state in range(graph.num_states) if masks[state] & bit}
 
 
 def quiescent_region(graph: StateGraph, signal: str, value: int) -> Set[int]:
     """States where the signal is stable at ``value``."""
-    result: Set[int] = set()
-    direction = Direction.MINUS if value == 1 else Direction.PLUS
-    for state in range(graph.num_states):
-        if graph.signal_value(state, signal) != value:
-            continue
-        if not graph.is_excited(state, signal, direction):
-            result.add(state)
-    return result
+    bit = 1 << graph.signal_table.index(signal)
+    wanted = bit if value else 0
+    masks = graph._excited_minus if value == 1 else graph._excited_plus
+    codes = graph.packed_codes
+    return {
+        state
+        for state in range(graph.num_states)
+        if codes[state] & bit == wanted and not masks[state] & bit
+    }
 
 
 def on_set_states(graph: StateGraph, signal: str) -> Set[int]:
     """States whose implied next value of the signal is 1."""
-    return {
-        state
-        for state in range(graph.num_states)
-        if graph.implied_value(state, signal) == 1
-    }
+    bit = 1 << graph.signal_table.index(signal)
+    return {state for state in range(graph.num_states) if graph.implied_word(state) & bit}
 
 
 def off_set_states(graph: StateGraph, signal: str) -> Set[int]:
     """States whose implied next value of the signal is 0."""
+    bit = 1 << graph.signal_table.index(signal)
     return {
         state
         for state in range(graph.num_states)
-        if graph.implied_value(state, signal) == 0
+        if not graph.implied_word(state) & bit
     }
 
 
-def states_to_cover(graph: StateGraph, states: Sequence[int]) -> Cover:
-    """Build the exact (minterm) cover of a set of states."""
+def states_to_cover(graph: StateGraph, states: Iterable[int]) -> Cover:
+    """Build the exact (minterm) cover of a set of states.
+
+    A packed code is directly the minterm of the state's cube, so each cube
+    is two masks (``ones = code``, ``zeros = ~code``) built without touching
+    individual bits.
+    """
     nvars = len(graph.signals)
+    full = (1 << nvars) - 1
+    packed = graph.packed_codes
     cubes = []
-    seen: Set[Tuple[int, ...]] = set()
+    seen: Set[int] = set()
     for state in states:
-        code = graph.codes[state]
+        code = packed[state]
         if code in seen:
             continue
         seen.add(code)
-        cubes.append(Cube.from_assignment(code))
+        cubes.append(Cube(nvars, code, full & ~code))
     return Cover(nvars, cubes)
 
 
 def dc_set_cover(graph: StateGraph) -> Cover:
     """Cover of the unreachable binary codes (the don't-care set)."""
     nvars = len(graph.signals)
+    full = (1 << nvars) - 1
     reachable = Cover(
-        nvars, [Cube.from_assignment(code) for code in graph.reachable_codes()]
+        nvars,
+        [Cube(nvars, code, full & ~code) for code in graph.reachable_packed_codes()],
     )
     return reachable.complement()
 
@@ -103,12 +117,30 @@ class SignalRegions:
     def __init__(self, graph: StateGraph, signal: str) -> None:
         self.graph = graph
         self.signal = signal
-        self.er_plus = excitation_region(graph, signal, Direction.PLUS)
-        self.er_minus = excitation_region(graph, signal, Direction.MINUS)
-        self.qr_high = quiescent_region(graph, signal, 1)
-        self.qr_low = quiescent_region(graph, signal, 0)
-        self.on_states = self.er_plus | self.qr_high
-        self.off_states = self.er_minus | self.qr_low
+        bit = 1 << graph.signal_table.index(signal)
+        plus = graph._excited_plus
+        minus = graph._excited_minus
+        codes = graph.packed_codes
+        er_plus: Set[int] = set()
+        er_minus: Set[int] = set()
+        qr_high: Set[int] = set()
+        qr_low: Set[int] = set()
+        for state in range(graph.num_states):
+            if plus[state] & bit:
+                er_plus.add(state)
+            if minus[state] & bit:
+                er_minus.add(state)
+            if codes[state] & bit:
+                if not minus[state] & bit:
+                    qr_high.add(state)
+            elif not plus[state] & bit:
+                qr_low.add(state)
+        self.er_plus = er_plus
+        self.er_minus = er_minus
+        self.qr_high = qr_high
+        self.qr_low = qr_low
+        self.on_states = er_plus | qr_high
+        self.off_states = er_minus | qr_low
 
     @property
     def on_cover(self) -> Cover:

@@ -5,13 +5,35 @@ attached to every reachable marking (Section 2.1).  It is the semantic
 object classic synthesis tools (SIS, Petrify) work on and the reference the
 unfolding-based method must agree with; in this reproduction it powers the
 "SIS-like" baseline and all ground-truth checks in the test suite.
+
+Packed representation
+---------------------
+States are stored packed (see :mod:`repro.core`): the binary code of state
+``s`` is one int whose bit ``i`` is the value of signal ``i`` (signal order
+= ``stg.signals``), and for safe weight-1 nets the marking is one int whose
+bit ``j`` is the token count of place ``j``.  Alongside the codes the graph
+keeps two per-state *excitation masks* -- bit ``i`` of
+``excited_plus_mask(s)`` (``excited_minus_mask(s)``) is 1 when a rising
+(falling) transition of signal ``i`` is enabled in ``s`` -- which turn
+region extraction and implied-value queries into single integer operations.
+The tuple/dict APIs (``codes``, ``markings``, ``code_of``...) survive as
+thin adapters decoding on demand, so region/CSC/unfolding consumers remain
+source-compatible.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
+from ..core import (
+    LazyDecodedList,
+    PackedNet,
+    SignalTable,
+    UnsafeNetError,
+    pack_code,
+    unpack_code,
+)
 from ..petrinet import Marking, StateSpaceLimitExceeded
 from ..stg import STG, STGError
 from ..stg.signals import Direction
@@ -31,96 +53,198 @@ class StateGraph:
     stg:
         The source STG.
     markings:
-        Reachable markings (index 0 is the initial one).
+        Reachable markings (index 0 is the initial one); a lazy decoding
+        view when the graph was built by the packed engine.
     codes:
-        Binary code of every state, aligned with :attr:`markings`; codes are
-        tuples ordered like ``stg.signals``.
+        Binary code of every state as tuples ordered like ``stg.signals``
+        (an adapter materialised from :attr:`packed_codes` on first use).
+    packed_codes:
+        Binary code of every state as one int (bit ``i`` = signal ``i``).
     edges:
         ``(source, transition, target)`` triples.
     """
 
-    def __init__(self, stg: STG) -> None:
+    def __init__(self, stg: STG, codec=None) -> None:
         self.stg = stg
         self.signals: List[str] = stg.signals
-        self.markings: List[Marking] = []
-        self.codes: List[Tuple[int, ...]] = []
+        self.signal_table = SignalTable(self.signals)
+        self.packed_codes: List[int] = []
         self.edges: List[Tuple[int, str, int]] = []
-        self._index: Dict[Marking, int] = {}
+        self._codec = codec
+        self._packed_markings: Optional[List[int]] = [] if codec is not None else None
+        self._marking_list: Union[List[Marking], LazyDecodedList]
+        if codec is not None:
+            self._marking_list = LazyDecodedList(self._packed_markings, codec.decode)
+        else:
+            self._marking_list = []
+        # Keys are packed ints (packed mode) or Marking objects (legacy mode).
+        self._index: Dict[object, int] = {}
         self._successors: Dict[int, List[Tuple[str, int]]] = {}
         self._predecessors: Dict[int, List[Tuple[str, int]]] = {}
+        # Per-state excitation bitmasks over signal indices.
+        self._excited_plus: List[int] = []
+        self._excited_minus: List[int] = []
+        # Direction bit of each labelled transition, cached for _add_edge.
+        self._transition_bits: Dict[str, Tuple[int, int]] = {}
+        self._codes_cache: Optional[List[Tuple[int, ...]]] = None
+        self._code_index: Optional[Dict[int, List[int]]] = None
 
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
+    @property
+    def markings(self):
+        return self._marking_list
+
+    @property
+    def is_packed(self) -> bool:
+        """True when markings are stored as bitmask ints."""
+        return self._packed_markings is not None
+
     def _add_state(self, marking: Marking, code: Tuple[int, ...]) -> int:
+        """Legacy-mode state registration (dict marking + tuple code)."""
         index = self._index.get(marking)
         if index is not None:
             return index
-        index = len(self.markings)
-        self.markings.append(marking)
-        self.codes.append(code)
+        index = self._new_state(pack_code(code))
         self._index[marking] = index
+        self._marking_list.append(marking)
+        return index
+
+    def _add_packed_state(self, marking_word: int, code_word: int) -> int:
+        index = self._new_state(code_word)
+        self._index[marking_word] = index
+        self._packed_markings.append(marking_word)
+        return index
+
+    def _new_state(self, code_word: int) -> int:
+        index = len(self._index)
+        self.packed_codes.append(code_word)
         self._successors[index] = []
         self._predecessors[index] = []
+        self._excited_plus.append(0)
+        self._excited_minus.append(0)
+        self._codes_cache = None
+        self._code_index = None
         return index
+
+    def _transition_bit(self, transition: str) -> Tuple[int, int]:
+        """``(signal_bit, is_rising)`` of a transition; ``(0, 0)`` for dummies."""
+        cached = self._transition_bits.get(transition)
+        if cached is None:
+            label = self.stg.label_of(transition)
+            if label is None:
+                cached = (0, 0)
+            else:
+                cached = (
+                    1 << self.signal_table.index(label.signal),
+                    1 if label.direction is Direction.PLUS else 0,
+                )
+            self._transition_bits[transition] = cached
+        return cached
 
     def _add_edge(self, source: int, transition: str, target: int) -> None:
         self.edges.append((source, transition, target))
         self._successors[source].append((transition, target))
         self._predecessors[target].append((transition, source))
+        bit, rising = self._transition_bit(transition)
+        if bit:
+            if rising:
+                self._excited_plus[source] |= bit
+            else:
+                self._excited_minus[source] |= bit
 
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
     @property
     def num_states(self) -> int:
-        return len(self.markings)
+        return len(self.packed_codes)
 
     @property
     def num_edges(self) -> int:
         return len(self.edges)
 
     def __len__(self) -> int:
-        return len(self.markings)
+        return len(self.packed_codes)
+
+    @property
+    def codes(self) -> List[Tuple[int, ...]]:
+        """All codes as tuples (materialised from the packed ints once)."""
+        if self._codes_cache is None:
+            nsignals = len(self.signals)
+            self._codes_cache = [
+                unpack_code(word, nsignals) for word in self.packed_codes
+            ]
+        return self._codes_cache
 
     def index_of(self, marking: Marking) -> Optional[int]:
+        if self._packed_markings is not None:
+            try:
+                return self._index.get(self._codec.encode(marking))
+            except UnsafeNetError:
+                return None  # non-safe markings are unreachable in packed graphs
         return self._index.get(marking)
 
     def code_of(self, state: int) -> Tuple[int, ...]:
-        return self.codes[state]
+        return unpack_code(self.packed_codes[state], len(self.signals))
+
+    def packed_code_of(self, state: int) -> int:
+        """Binary code of a state as one int (bit ``i`` = signal ``i``)."""
+        return self.packed_codes[state]
 
     def successors(self, state: int) -> List[Tuple[str, int]]:
-        return list(self._successors[state])
+        """Outgoing ``(transition, target)`` pairs.
+
+        Returns the stored list -- callers must not mutate it.
+        """
+        return self._successors[state]
 
     def predecessors(self, state: int) -> List[Tuple[str, int]]:
-        return list(self._predecessors[state])
+        """Incoming ``(transition, source)`` pairs.
+
+        Returns the stored list -- callers must not mutate it.
+        """
+        return self._predecessors[state]
 
     def enabled_transitions(self, state: int) -> List[str]:
         return [transition for transition, _target in self._successors[state]]
 
     def signal_value(self, state: int, signal: str) -> int:
         """Current binary value of a signal in a state."""
-        return self.codes[state][self.stg.signal_index(signal)]
+        return (self.packed_codes[state] >> self.signal_table.index(signal)) & 1
+
+    def excited_plus_mask(self, state: int) -> int:
+        """Bitmask of signals with an enabled rising transition."""
+        return self._excited_plus[state]
+
+    def excited_minus_mask(self, state: int) -> int:
+        """Bitmask of signals with an enabled falling transition."""
+        return self._excited_minus[state]
 
     def excited_signals(self, state: int) -> Set[str]:
         """Signals with an enabled transition in the state."""
-        excited: Set[str] = set()
-        for transition, _target in self._successors[state]:
-            label = self.stg.label_of(transition)
-            if label is not None:
-                excited.add(label.signal)
-        return excited
+        mask = self._excited_plus[state] | self._excited_minus[state]
+        return set(self.signal_table.names_in(mask))
 
     def is_excited(self, state: int, signal: str, direction: Optional[Direction] = None) -> bool:
         """True if a transition of ``signal`` (optionally of a specific
         direction) is enabled in the state."""
-        for transition, _target in self._successors[state]:
-            label = self.stg.label_of(transition)
-            if label is None or label.signal != signal:
-                continue
-            if direction is None or label.direction is direction:
-                return True
-        return False
+        bit = 1 << self.signal_table.index(signal)
+        if direction is Direction.PLUS:
+            return bool(self._excited_plus[state] & bit)
+        if direction is Direction.MINUS:
+            return bool(self._excited_minus[state] & bit)
+        return bool((self._excited_plus[state] | self._excited_minus[state]) & bit)
+
+    def implied_word(self, state: int) -> int:
+        """Packed next-state (implied) code of the whole state.
+
+        Bit ``i`` is 1 when signal ``i`` is excited to rise or stable at 1:
+        ``(code & ~excited_minus) | (excited_plus & ~code)``.
+        """
+        code = self.packed_codes[state]
+        return (code & ~self._excited_minus[state]) | (self._excited_plus[state] & ~code)
 
     def implied_value(self, state: int, signal: str) -> int:
         """Next-state (implied) value of a signal.
@@ -129,22 +253,29 @@ class StateGraph:
         at 1, and 0 when it is excited to fall or stable at 0.  The on-set of
         a signal is exactly the set of states whose implied value is 1.
         """
-        value = self.signal_value(state, signal)
-        if value == 0:
-            return 1 if self.is_excited(state, signal, Direction.PLUS) else 0
-        return 0 if self.is_excited(state, signal, Direction.MINUS) else 1
+        return (self.implied_word(state) >> self.signal_table.index(signal)) & 1
 
-    def states_with_code(self, code: Sequence[int]) -> List[int]:
-        """All states carrying the given binary code."""
-        target = tuple(code)
-        return [i for i, c in enumerate(self.codes) if c == target]
+    def states_with_code(self, code: Union[int, Sequence[int]]) -> List[int]:
+        """All states carrying the given binary code (packed int or tuple)."""
+        if self._code_index is None:
+            index: Dict[int, List[int]] = {}
+            for state, word in enumerate(self.packed_codes):
+                index.setdefault(word, []).append(state)
+            self._code_index = index
+        target = code if isinstance(code, int) else pack_code(code)
+        return self._code_index.get(target, [])
 
     def deadlock_states(self) -> List[int]:
         return [i for i in range(self.num_states) if not self._successors[i]]
 
     def reachable_codes(self) -> Set[Tuple[int, ...]]:
-        """The set of binary codes of reachable states."""
-        return set(self.codes)
+        """The set of binary codes of reachable states, as tuples."""
+        nsignals = len(self.signals)
+        return {unpack_code(word, nsignals) for word in self.packed_codes}
+
+    def reachable_packed_codes(self) -> Set[int]:
+        """The set of binary codes of reachable states, as packed ints."""
+        return set(self.packed_codes)
 
     def __repr__(self) -> str:
         return "StateGraph(states=%d, edges=%d, signals=%d)" % (
@@ -158,6 +289,7 @@ def build_state_graph(
     stg: STG,
     max_states: Optional[int] = None,
     check_consistency: bool = True,
+    packed: Optional[bool] = None,
 ) -> StateGraph:
     """Build the State Graph of an STG by breadth-first exploration.
 
@@ -165,46 +297,145 @@ def build_state_graph(
     consistent state assignment (unless ``check_consistency`` is False, in
     which case the first code found for a marking is kept) and
     :class:`StateSpaceLimitExceeded` when the optional state budget is hit.
+
+    ``packed`` forces (``True``) or forbids (``False``) the packed bitmask
+    engine; by default the packed engine runs whenever the net is safe and
+    weight-1, falling back transparently otherwise.
     """
     if not stg.has_complete_initial_state():
         stg.infer_initial_state()
+    use_packed = PackedNet.is_packable(stg.net) if packed is None else packed
+    if use_packed:
+        try:
+            return _build_packed(stg, max_states, check_consistency)
+        except UnsafeNetError:
+            pass  # a reachable marking is not 1-bounded: use the fallback
+    return _build_legacy(stg, max_states, check_consistency)
+
+
+def _inconsistent_enabled(stg: STG, transition: str) -> InconsistentSTGError:
+    label = stg.label_of(transition)
+    return InconsistentSTGError(
+        "inconsistent state assignment: %s enabled while %s = %d"
+        % (transition, label.signal, label.target_value)
+    )
+
+
+def _inconsistent_codes(
+    marking, existing_code: Tuple[int, ...], new_code: Tuple[int, ...]
+) -> InconsistentSTGError:
+    return InconsistentSTGError(
+        "marking %s reached with two different codes %s / %s"
+        % (
+            marking,
+            "".join(map(str, existing_code)),
+            "".join(map(str, new_code)),
+        )
+    )
+
+
+def _build_packed(
+    stg: STG, max_states: Optional[int], check_consistency: bool
+) -> StateGraph:
+    pnet = PackedNet(stg.net)
+    graph = StateGraph(stg, codec=pnet.codec)
+    nsignals = len(graph.signals)
+    signal_index = graph.signal_table.index
+
+    # Compile every transition: (preset, postset, signal_bit, target_value).
+    # Dummies carry signal_bit 0 and leave the code untouched.
+    transitions = pnet.transitions
+    presets = pnet.presets
+    postsets = pnet.postsets
+    bits: List[int] = []
+    targets: List[int] = []
+    for name in transitions:
+        label = stg.label_of(name)
+        if label is None:
+            bits.append(0)
+            targets.append(0)
+        else:
+            bits.append(1 << signal_index(label.signal))
+            targets.append(label.target_value)
+    ntrans = len(transitions)
+
+    index_of = graph._index
+    packed_markings = graph._packed_markings
+    packed_codes = graph.packed_codes
+
+    initial_code = pack_code(stg.initial_code())
+    graph._add_packed_state(pnet.initial, initial_code)
+    queue = deque([0])
+    while queue:
+        source = queue.popleft()
+        marking = packed_markings[source]
+        code = packed_codes[source]
+        for t in range(ntrans):
+            preset = presets[t]
+            if marking & preset != preset:
+                continue
+            bit = bits[t]
+            if bit:
+                target_value = targets[t]
+                if check_consistency and bool(code & bit) != (target_value == 0):
+                    # The signal must currently hold the source value.
+                    raise _inconsistent_enabled(stg, transitions[t])
+                successor_code = (code | bit) if target_value else (code & ~bit)
+            else:
+                successor_code = code
+            remainder = marking & ~preset
+            postset = postsets[t]
+            if remainder & postset:
+                raise UnsafeNetError(
+                    "firing %r from packed marking %#x is not safe"
+                    % (transitions[t], marking)
+                )
+            successor_marking = remainder | postset
+            target = index_of.get(successor_marking)
+            if target is None:
+                target = graph._add_packed_state(successor_marking, successor_code)
+                if max_states is not None and graph.num_states > max_states:
+                    raise StateSpaceLimitExceeded(max_states)
+                queue.append(target)
+            elif check_consistency and packed_codes[target] != successor_code:
+                raise _inconsistent_codes(
+                    pnet.codec.decode(successor_marking),
+                    unpack_code(packed_codes[target], nsignals),
+                    unpack_code(successor_code, nsignals),
+                )
+            graph._add_edge(source, transitions[t], target)
+    return graph
+
+
+def _build_legacy(
+    stg: STG, max_states: Optional[int], check_consistency: bool
+) -> StateGraph:
     graph = StateGraph(stg)
     initial_code = stg.initial_code()
     initial = stg.net.initial_marking
-    start = graph._add_state(initial, initial_code)
-    queue = deque([start])
-    visited: Set[int] = set()
+    graph._add_state(initial, initial_code)
+    queue = deque([0])
+    codes: List[Tuple[int, ...]] = [initial_code]
 
     while queue:
         index = queue.popleft()
-        if index in visited:
-            continue
-        visited.add(index)
         marking = graph.markings[index]
-        code = graph.codes[index]
+        code = codes[index]
         for transition in stg.net.enabled_transitions(marking):
             if check_consistency and not stg.code_consistent_with(code, transition):
-                label = stg.label_of(transition)
-                raise InconsistentSTGError(
-                    "inconsistent state assignment: %s enabled while %s = %d"
-                    % (transition, label.signal, label.target_value)
-                )
+                raise _inconsistent_enabled(stg, transition)
             successor_marking = stg.net.fire(marking, transition)
             successor_code = stg.next_code(code, transition)
             existing = graph.index_of(successor_marking)
             if existing is not None:
-                if check_consistency and graph.codes[existing] != successor_code:
-                    raise InconsistentSTGError(
-                        "marking %s reached with two different codes %s / %s"
-                        % (
-                            successor_marking,
-                            "".join(map(str, graph.codes[existing])),
-                            "".join(map(str, successor_code)),
-                        )
+                if check_consistency and codes[existing] != successor_code:
+                    raise _inconsistent_codes(
+                        successor_marking, codes[existing], successor_code
                     )
                 target = existing
             else:
                 target = graph._add_state(successor_marking, successor_code)
+                codes.append(successor_code)
                 if max_states is not None and graph.num_states > max_states:
                     raise StateSpaceLimitExceeded(max_states)
                 queue.append(target)

@@ -71,6 +71,7 @@ def synthesize_from_sg(
     engine: str = "explicit",
     max_states: Optional[int] = None,
     raise_on_csc: bool = False,
+    packed: Optional[bool] = None,
 ) -> SGSynthesisResult:
     """Synthesise every implementable signal from the explicit State Graph.
 
@@ -87,12 +88,16 @@ def synthesize_from_sg(
     raise_on_csc:
         When True a CSC conflict raises; otherwise the conflicting signals
         are recorded in ``implementation.csc_conflicts`` and skipped.
+    packed:
+        Force (``True``) / forbid (``False``) the packed bitmask state-graph
+        engine; defaults to packed whenever the net qualifies.  Used by the
+        equivalence test-suite to compare both representations.
     """
     start = time.perf_counter()
     if engine == "bdd":
-        graph = _build_graph_via_bdd(stg, max_states=max_states)
+        graph = _build_graph_via_bdd(stg, max_states=max_states, packed=packed)
     else:
-        graph = build_state_graph(stg, max_states=max_states)
+        graph = build_state_graph(stg, max_states=max_states, packed=packed)
     build_time = time.perf_counter() - start
 
     signals = stg.signals
@@ -158,9 +163,10 @@ def _stable_cover(graph: StateGraph, regions: SignalRegions, value: int) -> Cove
     don't cares for the set and reset excitation functions (the memory
     element holds the value there).
     """
+    from ..stategraph.regions import states_to_cover
+
     states = regions.qr_high if value == 1 else regions.qr_low
-    nvars = len(graph.signals)
-    return Cover(nvars, [Cube.from_assignment(graph.codes[s]) for s in sorted(states)])
+    return states_to_cover(graph, sorted(states))
 
 
 def _csc_conflicting_signals(graph: StateGraph, csc_report) -> set:
@@ -174,7 +180,9 @@ def _csc_conflicting_signals(graph: StateGraph, csc_report) -> set:
     return conflicting
 
 
-def _build_graph_via_bdd(stg: STG, max_states: Optional[int] = None) -> StateGraph:
+def _build_graph_via_bdd(
+    stg: STG, max_states: Optional[int] = None, packed: Optional[bool] = None
+) -> StateGraph:
     """Build the State Graph using the symbolic engine for reachability.
 
     The BDD engine computes the reachable marking set symbolically; the graph
@@ -188,4 +196,4 @@ def _build_graph_via_bdd(stg: STG, max_states: Optional[int] = None) -> StateGra
     # for cover extraction, bounded by the now-known state count.
     markings = symbolic_reachable_markings(stg.net)
     limit = max_states if max_states is not None else max(len(markings), 1)
-    return build_state_graph(stg, max_states=limit)
+    return build_state_graph(stg, max_states=limit, packed=packed)

@@ -101,12 +101,15 @@ def synthesize(
     architecture: str = "acg",
     raise_on_csc: bool = False,
     max_states: Optional[int] = None,
+    packed: Optional[bool] = None,
 ) -> SynthesisResult:
     """Synthesise a speed-independent implementation of an STG.
 
     See the module docstring for the available methods.  ``max_states``
     bounds the explicit state exploration of the SG methods so experiments
     can report "did not finish" instead of running out of memory.
+    ``packed`` forces/forbids the packed state-graph engine of the SG
+    methods (ignored by the unfolding methods, which never build the SG).
     """
     if method not in METHODS:
         raise ValueError("unknown synthesis method %r (choose from %s)" % (method, METHODS))
@@ -144,6 +147,7 @@ def synthesize(
         engine=engine,
         max_states=max_states,
         raise_on_csc=raise_on_csc,
+        packed=packed,
     )
     return SynthesisResult(
         method,
