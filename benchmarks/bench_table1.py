@@ -11,12 +11,22 @@ larger, more concurrent ones.
 
 Run with ``pytest benchmarks/bench_table1.py --benchmark-only``; a summary
 table is printed at the end of the session.
+
+Machine-readable mode: ``python benchmarks/bench_table1.py --json`` writes
+``BENCH_table1.json`` with per-row times plus packed-vs-legacy engine
+timings (state-graph states/sec and the ``muller_pipeline(8)`` sg-explicit
+end-to-end before/after numbers), so the perf trajectory of the packed
+state core is tracked commit over commit.
 """
+
+import argparse
+import json
+import time
 
 import pytest
 
 from repro.flow import format_table, run_table1
-from repro.stg import table1_suite
+from repro.stg import muller_pipeline, table1_suite
 from repro.synthesis import synthesize
 
 # Keep the per-row pytest-benchmark measurements to the smaller benchmarks so
@@ -72,3 +82,78 @@ def test_table1_summary_table(capsys):
         print(format_table(rows, columns))
     for row in rows:
         assert row["LitCnt"] == row["sg-explicit_literals"]
+
+
+# ---------------------------------------------------------------------- #
+# Machine-readable perf results (BENCH_table1.json)
+# ---------------------------------------------------------------------- #
+def _time_sg_explicit(stg, packed):
+    start = time.perf_counter()
+    result = synthesize(stg, method="sg-explicit", packed=packed)
+    total = time.perf_counter() - start
+    build = result.unfold_time  # SG methods report graph construction here
+    return {
+        "seconds": round(total, 4),
+        "literals": result.literal_count,
+        "states": result.num_states,
+        "sg_build_seconds": round(build, 4),
+        "states_per_sec": round(result.num_states / build) if build > 0 else None,
+    }
+
+
+def collect_json(max_signals=14, baseline_seconds=None):
+    """Measure the perf numbers the repo tracks across commits."""
+    entries = [e for e in table1_suite() if e.expected_signals <= max_signals]
+    rows = run_table1(entries=entries, methods=("unfolding-approx", "sg-explicit"))
+    muller8 = muller_pipeline(8)
+    packed = _time_sg_explicit(muller8, packed=True)
+    legacy = _time_sg_explicit(muller8, packed=False)
+    report = {
+        "generated_by": "benchmarks/bench_table1.py --json",
+        "muller8_sg_explicit": {
+            "packed_engine": packed,
+            "legacy_engine": legacy,
+            "pre_refactor_seconds": baseline_seconds,
+            "speedup_vs_pre_refactor": (
+                round(baseline_seconds / packed["seconds"], 2)
+                if baseline_seconds and packed["seconds"]
+                else None
+            ),
+        },
+        "table1_rows": [dict(row) for row in rows],
+    }
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description="Table 1 perf measurement")
+    parser.add_argument("--json", action="store_true", help="write BENCH_table1.json")
+    parser.add_argument("-o", "--output", default="BENCH_table1.json")
+    parser.add_argument(
+        "--max-signals", type=int, default=14, help="largest benchmarks to include"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=float,
+        default=None,
+        help="pre-refactor muller_pipeline(8) sg-explicit seconds, recorded as-is",
+    )
+    args = parser.parse_args(argv)
+    report = collect_json(max_signals=args.max_signals, baseline_seconds=args.baseline)
+    if args.json:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.output)
+    m8 = report["muller8_sg_explicit"]
+    print(
+        "muller_pipeline(8) sg-explicit: packed %.3fs / legacy-engine %.3fs"
+        % (m8["packed_engine"]["seconds"], m8["legacy_engine"]["seconds"])
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -40,6 +40,8 @@ class LazyDecodedList:
             return [self[i] for i in range(*index.indices(len(self._packed)))]
         if index < 0:
             index += len(self._packed)
+        if index < 0 or index >= len(self._packed):
+            raise IndexError("list index out of range")
         if index >= len(self._cache):
             self._cache.extend([None] * (len(self._packed) - len(self._cache)))
         value = self._cache[index]

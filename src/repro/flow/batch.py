@@ -11,10 +11,10 @@ Timeouts act at two levels:
 
 * inside each worker, :func:`~repro.flow.experiments.run_table1` enforces
   the per-method budget cooperatively and records ``"timeout"`` outcomes;
-* the parent additionally bounds its wait per row; a row that blows the
-  parent-side budget is merged as ``{"outcome": "timeout"}`` and its worker
-  is abandoned (process pools cannot kill individual members, so a hung
-  worker occupies a slot until the pool shuts down).
+* the parent additionally bounds its total wait (scaled so every method of
+  every row can exhaust its cooperative budget first); a row that blows
+  even that is merged as ``{"outcome": "timeout"}`` and the pool's worker
+  processes are terminated, so a hung worker can never wedge the batch.
 
 Every merged row carries an ``outcome`` key (``"ok"`` / ``"error"`` /
 ``"timeout"``), the aggregate of its per-method outcomes, which is what the
@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Dict, List, Optional, Sequence
@@ -92,21 +93,40 @@ def _run_batch(
     placeholders: Sequence[Dict[str, object]],
     jobs: Optional[int],
     task_timeout: Optional[float],
+    methods_per_row: int,
 ) -> List[Dict[str, object]]:
-    """Fan tasks out over a process pool, merging in submission order."""
+    """Fan tasks out over a process pool, merging in submission order.
+
+    The per-row parent-side budget leaves the in-worker cooperative
+    timeouts room to fire for *every* method plus the conformance
+    simulation, so a worker that is handling its budget correctly is never
+    abandoned; the backstop only triggers for genuinely hung workers, and
+    those are terminated so the parent always returns.
+    """
     if jobs is None:
         jobs = os.cpu_count() or 1
     jobs = max(1, min(jobs, len(task_args) or 1))
     rows: List[Dict[str, object]] = []
-    # A worker needs room for the in-worker cooperative timeout to fire and
-    # the row to travel back before the parent-side backstop gives up on it.
-    parent_budget = None if task_timeout is None else task_timeout * 2 + 10.0
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    deadline = None
+    if task_timeout is not None:
+        # Cooperative budget per row: one timeout per method, plus slack for
+        # the conformance simulation and result transport.  Rows run jobs at
+        # a time, so the whole batch must finish within `waves` such budgets.
+        per_row = task_timeout * max(1, methods_per_row) + 60.0
+        waves = (len(task_args) + jobs - 1) // jobs
+        deadline = time.monotonic() + per_row * max(1, waves)
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    hung = False
+    try:
         futures = [pool.submit(worker, args) for args in task_args]
         for future, placeholder in zip(futures, placeholders):
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
             try:
-                row = future.result(timeout=parent_budget)
+                row = future.result(timeout=remaining)
             except FutureTimeoutError:
+                hung = True
                 row = dict(placeholder)
                 row["outcome"] = "timeout"
                 rows.append(row)
@@ -119,6 +139,16 @@ def _run_batch(
                 continue
             row["outcome"] = row_outcome(row)
             rows.append(row)
+    finally:
+        if hung:
+            # A worker blew even the generous parent budget: waiting for it
+            # (as pool shutdown normally would) could block forever, so the
+            # worker processes are killed outright.
+            for process in list(getattr(pool, "_processes", {}).values()):
+                process.terminate()
+            pool.shutdown(wait=False)
+        else:
+            pool.shutdown(wait=True)
     return rows
 
 
@@ -150,7 +180,9 @@ def run_table1_batch(
         for name in names
     ]
     placeholders = [{"benchmark": name} for name in names]
-    return _run_batch(_table1_row_task, task_args, placeholders, jobs, task_timeout)
+    return _run_batch(
+        _table1_row_task, task_args, placeholders, jobs, task_timeout, len(methods)
+    )
 
 
 def run_figure6_batch(
@@ -173,7 +205,9 @@ def run_figure6_batch(
         for stages in stage_counts
     ]
     placeholders = [{"stages": stages} for stages in stage_counts]
-    return _run_batch(_figure6_row_task, task_args, placeholders, jobs, task_timeout)
+    return _run_batch(
+        _figure6_row_task, task_args, placeholders, jobs, task_timeout, len(methods)
+    )
 
 
 def write_batch_json(path: str, kind: str, rows: Sequence[Dict[str, object]]) -> None:

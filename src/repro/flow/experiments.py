@@ -48,10 +48,13 @@ def _synthesize_timed(
 
     The budget is enforced by running the synthesis in a daemon worker
     thread and abandoning it when the deadline passes -- the thread cannot
-    be killed, so an over-budget synthesis may keep burning CPU until it
-    finishes on its own.  The batch runner
-    (:mod:`repro.flow.batch`) wraps whole rows in worker *processes*, where
-    a timeout genuinely frees the core.
+    be killed, so an over-budget synthesis may keep burning CPU (and skew
+    the wall-clock of later methods in the same row) until it finishes on
+    its own.  The worker therefore synthesises a private copy of the STG,
+    so an abandoned thread can never race later methods on shared
+    specification state.  The batch runner (:mod:`repro.flow.batch`) wraps
+    whole rows in worker *processes*, where a timeout genuinely frees the
+    core.
     """
     if timeout is None:
         start = time.perf_counter()
@@ -62,10 +65,11 @@ def _synthesize_timed(
         return result, time.perf_counter() - start, "ok"
 
     box: Dict[str, object] = {}
+    private_stg = stg.copy()
 
     def worker() -> None:
         try:
-            box["result"] = synthesize(stg, method=method, max_states=max_states)
+            box["result"] = synthesize(private_stg, method=method, max_states=max_states)
         except Exception as exc:
             box["error"] = exc
 

@@ -137,8 +137,9 @@ class ReachabilityGraph:
         if self._packed is not None:
             try:
                 return self._index.get(self._codec.encode(marking))
-            except UnsafeNetError:
-                return None  # non-safe markings are unreachable in packed graphs
+            except (UnsafeNetError, KeyError):
+                # Non-safe markings and unknown places are both unreachable.
+                return None
         return self._index.get(marking)
 
     def contains(self, marking: Marking) -> bool:
@@ -216,13 +217,17 @@ def explore(
         states than this would be generated.
     packed:
         Force (``True``) or forbid (``False``) the packed bitmask engine;
-        the default picks packed whenever the net qualifies.  A net that
-        turns out to be non-safe mid-exploration transparently falls back
-        to the dict-based engine.
+        the default (``None``) picks packed whenever the net qualifies and
+        transparently falls back to the dict-based engine when the net
+        turns out to be non-safe mid-exploration.  Forcing ``packed=True``
+        on a net that cannot be packed raises
+        :class:`~repro.core.UnsafeNetError` instead of downgrading, so
+        equivalence tests cannot silently compare legacy against legacy.
     """
     start = initial if initial is not None else net.initial_marking
-    use_packed = PackedNet.is_packable(net) if packed is None else packed
-    if use_packed and start.is_safe():
+    if packed is True:
+        return _explore_packed(net, start, max_states)
+    if packed is None and PackedNet.is_packable(net) and start.is_safe():
         try:
             return _explore_packed(net, start, max_states)
         except UnsafeNetError:

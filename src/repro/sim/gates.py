@@ -15,6 +15,14 @@ All three architectures are supported:
   is true and the signal is low, excited to fall when the reset function is
   true and the signal is high, and *hazardous* when both functions are true
   at once (a drive conflict).
+
+Each gate cover is compiled once into ``(ones, zeros)`` bitmask pairs over
+the *global* signal space (bit ``i`` = signal ``i``, local variable orders
+remapped through the gate's permutation), so the packed simulation engine
+evaluates a gate on a packed code word with two ANDs per cube
+(``ones & ~word == 0 and zeros & word == 0``).  The sequence-based
+``evaluate``/``excitation`` API remains for the legacy engine and the
+random walker.
 """
 
 from __future__ import annotations

@@ -199,6 +199,9 @@ class Simulator:
     packed:
         Force (``True``) / forbid (``False``) the packed engine; the default
         uses it whenever the specification net is safe and weight-1.
+        Forcing it on a net that does not qualify raises ``ValueError``
+        rather than silently downgrading, so equivalence tests cannot
+        accidentally compare the legacy engine against itself.
     """
 
     def __init__(
@@ -214,7 +217,12 @@ class Simulator:
         if packed is None:
             self.packed = self.environment.supports_packed
         else:
-            self.packed = packed and self.environment.supports_packed
+            if packed and not self.environment.supports_packed:
+                raise ValueError(
+                    "packed simulation forced but the net of %r is not safe/weight-1"
+                    % stg.name
+                )
+            self.packed = packed
 
     # ------------------------------------------------------------------ #
     # Event computation

@@ -182,8 +182,9 @@ class StateGraph:
         if self._packed_markings is not None:
             try:
                 return self._index.get(self._codec.encode(marking))
-            except UnsafeNetError:
-                return None  # non-safe markings are unreachable in packed graphs
+            except (UnsafeNetError, KeyError):
+                # Non-safe markings and unknown places are both unreachable.
+                return None
         return self._index.get(marking)
 
     def code_of(self, state: int) -> Tuple[int, ...]:
@@ -299,13 +300,16 @@ def build_state_graph(
     :class:`StateSpaceLimitExceeded` when the optional state budget is hit.
 
     ``packed`` forces (``True``) or forbids (``False``) the packed bitmask
-    engine; by default the packed engine runs whenever the net is safe and
-    weight-1, falling back transparently otherwise.
+    engine; by default (``None``) the packed engine runs whenever the net
+    is safe and weight-1, falling back transparently otherwise.  Forcing
+    ``packed=True`` on a net that cannot be packed raises
+    :class:`~repro.core.UnsafeNetError` instead of downgrading.
     """
     if not stg.has_complete_initial_state():
         stg.infer_initial_state()
-    use_packed = PackedNet.is_packable(stg.net) if packed is None else packed
-    if use_packed:
+    if packed is True:
+        return _build_packed(stg, max_states, check_consistency)
+    if packed is None and PackedNet.is_packable(stg.net):
         try:
             return _build_packed(stg, max_states, check_consistency)
         except UnsafeNetError:

@@ -1,0 +1,104 @@
+"""Tests for the parallel experiment batch runner and the timeout outcome."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.flow import (
+    row_outcome,
+    run_figure6_batch,
+    run_table1,
+    run_table1_batch,
+)
+from repro.stg import benchmark_by_name
+
+NAMES = ["sendr-done", "rcv-setup", "nowick"]
+METHODS = ("unfolding-approx", "sg-explicit")
+
+
+def _stable(row):
+    """The deterministic fields of a row (times vary run to run)."""
+    keys = (
+        "benchmark",
+        "signals",
+        "LitCnt",
+        "sg-explicit_literals",
+        "unfolding-approx_outcome",
+        "sg-explicit_outcome",
+        "Conf",
+        "Conf_method",
+        "sim_states",
+    )
+    return {key: row.get(key) for key in keys}
+
+
+def test_batch_matches_serial_rows():
+    serial = run_table1(
+        entries=[benchmark_by_name(name) for name in NAMES], methods=METHODS
+    )
+    parallel = run_table1_batch(names=NAMES, methods=METHODS, jobs=2)
+    assert [row["benchmark"] for row in parallel] == NAMES
+    assert [_stable(row) for row in parallel] == [_stable(row) for row in serial]
+    assert all(row["outcome"] == "ok" for row in parallel)
+
+
+def test_batch_single_job_matches_multi_job():
+    one = run_table1_batch(names=NAMES[:2], methods=METHODS, jobs=1)
+    two = run_table1_batch(names=NAMES[:2], methods=METHODS, jobs=2)
+    assert [_stable(row) for row in one] == [_stable(row) for row in two]
+
+
+def test_figure6_batch_rows():
+    rows = run_figure6_batch(stage_counts=(1, 2), methods=METHODS, jobs=2)
+    assert [row["stages"] for row in rows] == [1, 2]
+    for row in rows:
+        assert row["outcome"] == "ok"
+        assert row["unfolding-approx"] is not None
+
+
+def test_timeout_outcome_is_distinct_from_error():
+    rows = run_table1(
+        entries=[benchmark_by_name("imec-master-read.csc")],
+        methods=("sg-explicit",),
+        timeout=0.001,
+        conformance=False,
+    )
+    row = rows[0]
+    assert row["sg-explicit_outcome"] == "timeout"
+    assert row["sg-explicit_total"] is None
+    assert row_outcome(row) == "timeout"
+
+
+def test_row_outcome_aggregation():
+    assert row_outcome({"a_outcome": "ok", "b_outcome": "ok"}) == "ok"
+    assert row_outcome({"a_outcome": "ok", "b_outcome": "timeout"}) == "timeout"
+    assert row_outcome({"a_outcome": "timeout", "b_outcome": "error"}) == "error"
+    assert row_outcome({"a_outcome": "ok", "Conf": "error"}) == "error"
+    assert row_outcome({"a_outcome": "skipped"}) == "ok"
+
+
+def test_cli_batch_writes_json(tmp_path, capsys):
+    path = tmp_path / "batch.json"
+    assert (
+        main(
+            [
+                "batch",
+                "--benchmarks",
+                "sendr-done",
+                "--methods",
+                "unfolding-approx",
+                "--jobs",
+                "1",
+                "--json",
+                str(path),
+                "--fail-on-anomaly",
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(path.read_text())
+    assert payload["kind"] == "table1"
+    assert payload["outcomes"] == {"ok": 1, "timeout": 0, "error": 0}
+    assert payload["rows"][0]["benchmark"] == "sendr-done"
+    assert "sendr-done" in capsys.readouterr().out

@@ -1,0 +1,148 @@
+"""Packed vs legacy representation equivalence suite.
+
+The packed bitvector core (:mod:`repro.core`) is a pure fast path: on every
+built-in benchmark of ``table1_suite()`` plus ``muller_pipeline(2..6)`` the
+packed and legacy engines must produce identical state graphs, on-sets,
+region covers, literal counts and simulator verdicts.
+
+Cover equality is asserted on *every* entry; since the minimiser is a
+deterministic function of the covers, it fully determines literal-count
+equality.  The end-to-end dual synthesis (espresso included) additionally
+runs on the entries where the wide-benchmark minimisation stays fast.
+"""
+
+import pytest
+
+from repro.sim import simulate_implementation
+from repro.stategraph import SignalRegions, build_state_graph, dc_set_cover
+from repro.stategraph.regions import on_set_states
+from repro.stg import muller_pipeline, table1_suite
+from repro.stg.signals import Direction
+from repro.synthesis import synthesize
+
+
+def _specs():
+    specs = [(entry.name, entry.build) for entry in table1_suite()]
+    for stages in range(2, 7):
+        specs.append(
+            ("muller_pipeline_%d" % stages, lambda s=stages: muller_pipeline(s))
+        )
+    return specs
+
+
+SPECS = _specs()
+SPEC_IDS = [name for name, _build in SPECS]
+SMALL = [
+    (name, build)
+    for name, build in SPECS
+    if build().num_signals <= 12
+]
+
+
+@pytest.mark.parametrize("name,build", SPECS, ids=SPEC_IDS)
+def test_state_graphs_identical(name, build):
+    stg = build()
+    packed = build_state_graph(stg, packed=True)
+    legacy = build_state_graph(build(), packed=False)
+    assert packed.is_packed and not legacy.is_packed
+    assert packed.num_states == legacy.num_states
+    assert packed.packed_codes == legacy.packed_codes
+    assert packed.codes == legacy.codes
+    assert [m.places for m in packed.markings] == [m.places for m in legacy.markings]
+    assert packed.edges == legacy.edges
+    for state in range(packed.num_states):
+        assert packed.excited_plus_mask(state) == legacy.excited_plus_mask(state)
+        assert packed.excited_minus_mask(state) == legacy.excited_minus_mask(state)
+
+
+@pytest.mark.parametrize("name,build", SPECS, ids=SPEC_IDS)
+def test_regions_and_covers_identical(name, build):
+    stg = build()
+    packed = build_state_graph(stg, packed=True)
+    legacy = build_state_graph(build(), packed=False)
+    assert set(dc_set_cover(packed).cubes) == set(dc_set_cover(legacy).cubes)
+    for signal in stg.implementable_signals:
+        rp = SignalRegions(packed, signal)
+        rl = SignalRegions(legacy, signal)
+        assert rp.on_states == rl.on_states
+        assert rp.off_states == rl.off_states
+        assert rp.er_plus == rl.er_plus and rp.er_minus == rl.er_minus
+        assert set(rp.on_cover.cubes) == set(rl.on_cover.cubes)
+        assert set(rp.off_cover.cubes) == set(rl.off_cover.cubes)
+        assert set(rp.set_cover.cubes) == set(rl.set_cover.cubes)
+        assert set(rp.reset_cover.cubes) == set(rl.reset_cover.cubes)
+
+
+@pytest.mark.parametrize("name,build", SPECS, ids=SPEC_IDS)
+def test_on_sets_match_reference_definition(name, build):
+    """The mask-based on-set must equal the textbook definition computed
+    directly from enabled transitions and signal values."""
+    stg = build()
+    graph = build_state_graph(stg)
+    for signal in stg.implementable_signals:
+        expected = set()
+        for state in range(graph.num_states):
+            value = graph.code_of(state)[stg.signal_index(signal)]
+            rising = falling = False
+            for transition, _target in graph.successors(state):
+                label = stg.label_of(transition)
+                if label is None or label.signal != signal:
+                    continue
+                if label.direction is Direction.PLUS:
+                    rising = True
+                else:
+                    falling = True
+            implied = (1 if rising else 0) if value == 0 else (0 if falling else 1)
+            if implied:
+                expected.add(state)
+        assert on_set_states(graph, signal) == expected
+
+
+@pytest.mark.parametrize(
+    "name,build", SMALL, ids=[name for name, _build in SMALL]
+)
+def test_literal_counts_identical(name, build):
+    stg = build()
+    rp = synthesize(stg, method="sg-explicit", packed=True)
+    rl = synthesize(build(), method="sg-explicit", packed=False)
+    assert rp.literal_count == rl.literal_count
+    assert sorted(rp.implementation.gates) == sorted(rl.implementation.gates)
+    for signal, gate in rp.implementation.gates.items():
+        other = rl.implementation.gates[signal]
+        if gate.function is not None:
+            assert set(gate.function.cover.cubes) == set(other.function.cover.cubes)
+        else:
+            assert set(gate.set_function.cover.cubes) == set(
+                other.set_function.cover.cubes
+            )
+            assert set(gate.reset_function.cover.cubes) == set(
+                other.reset_function.cover.cubes
+            )
+
+
+@pytest.mark.parametrize(
+    "name,build", SMALL, ids=[name for name, _build in SMALL]
+)
+def test_simulator_verdicts_identical(name, build):
+    stg = build()
+    implementation = synthesize(stg, method="unfolding-approx").implementation
+    if implementation.has_csc_conflict:
+        pytest.skip("CSC conflict: nothing to simulate")
+    packed = simulate_implementation(stg, implementation, packed=True)
+    legacy = simulate_implementation(stg, implementation, packed=False)
+    assert packed.verdict() == legacy.verdict()
+    assert packed.num_states == legacy.num_states
+    assert packed.num_events_fired == legacy.num_events_fired
+    assert len(packed.hazards) == len(legacy.hazards)
+    assert len(packed.violations) == len(legacy.violations)
+
+
+def test_simulator_verdicts_identical_on_large_entries():
+    """One wide benchmark exercises the packed simulator beyond SMALL."""
+    entry = next(e for e in table1_suite() if e.name == "mp-forward-pkt")
+    stg = entry.build()
+    implementation = synthesize(stg, method="unfolding-approx").implementation
+    packed = simulate_implementation(stg, implementation, packed=True)
+    legacy = simulate_implementation(stg, implementation, packed=False)
+    assert packed.verdict() == legacy.verdict()
+    assert packed.num_states == legacy.num_states
