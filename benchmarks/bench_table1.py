@@ -14,9 +14,12 @@ table is printed at the end of the session.
 
 Machine-readable mode: ``python benchmarks/bench_table1.py --json`` writes
 ``BENCH_table1.json`` with per-row times plus packed-vs-legacy engine
-timings (state-graph states/sec and the ``muller_pipeline(8)`` sg-explicit
-end-to-end before/after numbers), so the perf trajectory of the packed
-state core is tracked commit over commit.
+timings (state-graph states/sec, the ``muller_pipeline(8)`` sg-explicit
+end-to-end before/after numbers, and the unfolding engine's state-recovery
+rate in both the state-pruned packed walk and the per-cut legacy reference
+walk), so the perf trajectory of the packed state core is tracked commit
+over commit.  The Table 1 rows include the unfolding-exact method next to
+unfolding-approx and the SG baseline.
 """
 
 import argparse
@@ -28,6 +31,7 @@ import pytest
 from repro.flow import format_table, run_table1
 from repro.stg import muller_pipeline, table1_suite
 from repro.synthesis import synthesize
+from repro.unfolding import reachable_packed_states, unfold
 
 # Keep the per-row pytest-benchmark measurements to the smaller benchmarks so
 # the suite completes quickly; the full Table 1 sweep runs once in the
@@ -101,13 +105,35 @@ def _time_sg_explicit(stg, packed):
     }
 
 
-def collect_json(max_signals=14, baseline_seconds=None):
+def _time_unfolding_recovery(stg, legacy):
+    """Time packed state recovery from the segment (one dedup mode)."""
+    t0 = time.perf_counter()
+    segment = unfold(stg)
+    unfold_seconds = time.perf_counter() - t0
+    t1 = time.perf_counter()
+    states = reachable_packed_states(segment, legacy=legacy)
+    recover = time.perf_counter() - t1
+    return {
+        "seconds": round(recover, 4),
+        "unfold_seconds": round(unfold_seconds, 4),
+        "states": len(states),
+        "segment_events": segment.num_events - 1,
+        "states_per_sec": round(len(states) / recover) if recover > 0 else None,
+    }
+
+
+def collect_json(max_signals=14, baseline_seconds=None, unfolding_baseline_seconds=None):
     """Measure the perf numbers the repo tracks across commits."""
     entries = [e for e in table1_suite() if e.expected_signals <= max_signals]
-    rows = run_table1(entries=entries, methods=("unfolding-approx", "sg-explicit"))
+    rows = run_table1(
+        entries=entries,
+        methods=("unfolding-approx", "unfolding-exact", "sg-explicit"),
+    )
     muller8 = muller_pipeline(8)
     packed = _time_sg_explicit(muller8, packed=True)
     legacy = _time_sg_explicit(muller8, packed=False)
+    unf_packed = _time_unfolding_recovery(muller_pipeline(12), legacy=False)
+    unf_legacy = _time_unfolding_recovery(muller_pipeline(12), legacy=True)
     report = {
         "generated_by": "benchmarks/bench_table1.py --json",
         "muller8_sg_explicit": {
@@ -117,6 +143,16 @@ def collect_json(max_signals=14, baseline_seconds=None):
             "speedup_vs_pre_refactor": (
                 round(baseline_seconds / packed["seconds"], 2)
                 if baseline_seconds and packed["seconds"]
+                else None
+            ),
+        },
+        "muller12_unfolding_state_recovery": {
+            "packed_state_dedup": unf_packed,
+            "legacy_cut_dedup": unf_legacy,
+            "pre_refactor_seconds": unfolding_baseline_seconds,
+            "speedup_vs_pre_refactor": (
+                round(unfolding_baseline_seconds / unf_packed["seconds"], 2)
+                if unfolding_baseline_seconds and unf_packed["seconds"]
                 else None
             ),
         },
@@ -138,8 +174,18 @@ def main(argv=None):
         default=None,
         help="pre-refactor muller_pipeline(8) sg-explicit seconds, recorded as-is",
     )
+    parser.add_argument(
+        "--unfolding-baseline",
+        type=float,
+        default=None,
+        help="pre-refactor muller_pipeline(12) state-recovery seconds, recorded as-is",
+    )
     args = parser.parse_args(argv)
-    report = collect_json(max_signals=args.max_signals, baseline_seconds=args.baseline)
+    report = collect_json(
+        max_signals=args.max_signals,
+        baseline_seconds=args.baseline,
+        unfolding_baseline_seconds=args.unfolding_baseline,
+    )
     if args.json:
         with open(args.output, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -149,6 +195,16 @@ def main(argv=None):
     print(
         "muller_pipeline(8) sg-explicit: packed %.3fs / legacy-engine %.3fs"
         % (m8["packed_engine"]["seconds"], m8["legacy_engine"]["seconds"])
+    )
+    unf = report["muller12_unfolding_state_recovery"]
+    print(
+        "muller_pipeline(12) unfolding recovery: packed %.3fs (%s states/s) / "
+        "legacy-dedup %.3fs"
+        % (
+            unf["packed_state_dedup"]["seconds"],
+            unf["packed_state_dedup"]["states_per_sec"],
+            unf["legacy_cut_dedup"]["seconds"],
+        )
     )
     return 0
 

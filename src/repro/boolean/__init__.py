@@ -6,7 +6,7 @@ role Espresso plays in the paper's tool chain.
 """
 
 from .cube import Cube, CubeError
-from .cover import Cover
+from .cover import Cover, minterm_cover
 from .function import BooleanFunction
 from .minimize import MinimizationResult, espresso, quine_mccluskey
 
@@ -14,6 +14,7 @@ __all__ = [
     "Cube",
     "CubeError",
     "Cover",
+    "minterm_cover",
     "BooleanFunction",
     "MinimizationResult",
     "espresso",

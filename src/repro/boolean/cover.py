@@ -26,7 +26,18 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .cube import Cube, CubeError
 
-__all__ = ["Cover"]
+__all__ = ["Cover", "minterm_cover"]
+
+
+def minterm_cover(nvars: int, code_words: Iterable[int]) -> "Cover":
+    """Exact cover of a set of packed codes (one ``(ones, zeros)`` cube each).
+
+    A packed code *is* a minterm, so each cube is built straight from the
+    two masks without touching individual bits; the codes are sorted so the
+    result is deterministic for set-valued inputs.
+    """
+    full = (1 << nvars) - 1
+    return Cover(nvars, [Cube(nvars, code, full & ~code) for code in sorted(code_words)])
 
 
 class Cover:

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
+from ..core.packed import popcount as _popcount
+
 __all__ = ["Cube", "CubeError"]
 
 
@@ -344,8 +346,3 @@ class Cube:
             raise CubeError(
                 "cube spaces differ: %d vs %d variables" % (self.nvars, other.nvars)
             )
-
-
-def _popcount(value: int) -> int:
-    """Portable population count (``int.bit_count`` requires Python 3.10)."""
-    return bin(value).count("1")

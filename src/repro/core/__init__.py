@@ -36,6 +36,7 @@ from .packed import (
     bits_of_mask,
     iter_set_bits,
     pack_code,
+    popcount,
     unpack_code,
 )
 from .packednet import PackedNet
@@ -52,4 +53,5 @@ __all__ = [
     "unpack_code",
     "bits_of_mask",
     "iter_set_bits",
+    "popcount",
 ]

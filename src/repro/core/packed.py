@@ -29,6 +29,7 @@ __all__ = [
     "unpack_code",
     "bits_of_mask",
     "iter_set_bits",
+    "popcount",
     "MarkingCodec",
 ]
 
@@ -68,6 +69,11 @@ def iter_set_bits(mask: int) -> Iterator[int]:
 def bits_of_mask(mask: int) -> List[int]:
     """The indices of the set bits of ``mask``, ascending."""
     return list(iter_set_bits(mask))
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (``int.bit_count`` requires Python >= 3.10)."""
+    return bin(mask).count("1")
 
 
 class MarkingCodec:

@@ -108,18 +108,24 @@ def _run_batch(
     jobs = max(1, min(jobs, len(task_args) or 1))
     rows: List[Dict[str, object]] = []
     deadline = None
+    deadline_cap = None
     if task_timeout is not None:
         # Cooperative budget per row: one timeout per method, plus slack for
         # the conformance simulation and result transport.  Rows run jobs at
         # a time, so the whole batch must finish within `waves` such budgets.
+        # Hung workers may extend the deadline (see below), but never past
+        # one extra per-row budget per row, keeping the worst-case wall
+        # clock linear in the batch size even when every slot is wedged.
         per_row = task_timeout * max(1, methods_per_row) + 60.0
         waves = (len(task_args) + jobs - 1) // jobs
         deadline = time.monotonic() + per_row * max(1, waves)
+        deadline_cap = deadline + per_row * len(task_args)
     pool = ProcessPoolExecutor(max_workers=jobs)
     hung = False
+    hang_count = 0
     try:
         futures = [pool.submit(worker, args) for args in task_args]
-        for future, placeholder in zip(futures, placeholders):
+        for index, (future, placeholder) in enumerate(zip(futures, placeholders)):
             remaining = None
             if deadline is not None:
                 remaining = max(0.0, deadline - time.monotonic())
@@ -127,9 +133,29 @@ def _run_batch(
                 row = future.result(timeout=remaining)
             except FutureTimeoutError:
                 hung = True
+                hang_count += 1
                 row = dict(placeholder)
                 row["outcome"] = "timeout"
                 rows.append(row)
+                if deadline is not None:
+                    # The hung worker burned the shared budget and its pool
+                    # slot may repay nothing; re-budget the uncollected rows
+                    # over the slots assumed still productive so a hang
+                    # cannot cascade into healthy rows being stamped
+                    # "timeout".  At least one slot is always assumed
+                    # productive -- a parent-side timeout may be a straggler
+                    # that recovers and keeps pulling tasks -- and the hard
+                    # cap bounds the total wait when nothing recovers.
+                    healthy_slots = max(1, jobs - hang_count)
+                    uncollected = len(futures) - index - 1
+                    waves_left = (uncollected + healthy_slots - 1) // healthy_slots
+                    deadline = max(
+                        deadline,
+                        min(
+                            time.monotonic() + per_row * max(1, waves_left),
+                            deadline_cap,
+                        ),
+                    )
                 continue
             except Exception as exc:  # worker crashed (or was killed)
                 row = dict(placeholder)

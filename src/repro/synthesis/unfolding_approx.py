@@ -27,12 +27,14 @@ the specification has a CSC conflict (Section 4.3).
 from __future__ import annotations
 
 import time
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Union
 
-from ..boolean import BooleanFunction, Cover, Cube, espresso
+from ..boolean import BooleanFunction, Cover, Cube, espresso, minterm_cover
 from ..stg import STG
 from ..unfolding import Condition, Event, Slice, UnfoldingSegment, off_slices, on_slices, unfold
 from .netlist import Gate, Implementation
+
+Element = Union[Event, Condition]
 
 __all__ = [
     "CoverPart",
@@ -41,8 +43,6 @@ __all__ = [
     "ApproxUnfoldingSynthesisResult",
     "synthesize_approx_from_unfolding",
 ]
-
-Element = Union[Event, Condition]
 
 
 class CoverPart:
@@ -121,13 +121,10 @@ def _union_cover(nvars: int, parts: Sequence[CoverPart]) -> Cover:
 # ---------------------------------------------------------------------- #
 # Initial approximation (Section 4.2)
 # ---------------------------------------------------------------------- #
-def _cube_from_code(
-    stg: STG, code: Sequence[int], dont_care_signals: Set[str]
-) -> Cube:
-    values: List[Optional[int]] = []
-    for index, signal in enumerate(stg.signals):
-        values.append(None if signal in dont_care_signals else code[index])
-    return Cube.from_values(values)
+def _cube_from_word(nvars: int, code_word: int, dont_care_mask: int) -> Cube:
+    """Cube of a packed code with a signal mask turned into don't-cares."""
+    care = ((1 << nvars) - 1) & ~dont_care_mask
+    return Cube(nvars, code_word & care, ~code_word & care)
 
 
 def _er_part(stg: STG, slice_: Slice) -> Optional[CoverPart]:
@@ -138,10 +135,11 @@ def _er_part(stg: STG, slice_: Slice) -> Optional[CoverPart]:
         # the initial transition of the segment; the marked-region covers of
         # the initial conditions take over.
         return None
-    dont_care = slice_.concurrent_signals_with_event(entry)
-    dont_care.discard(slice_.signal)
-    cube = _cube_from_code(stg, slice_.min_code, dont_care)
-    return CoverPart("er", slice_, entry, Cover(len(stg.signals), [cube]))
+    nvars = len(stg.signals)
+    signal_bit = slice_.segment.signal_table.bit(slice_.signal)
+    dont_care = slice_.concurrent_signal_mask_with_event(entry) & ~signal_bit
+    cube = _cube_from_word(nvars, slice_.min_code_word, dont_care)
+    return CoverPart("er", slice_, entry, Cover(nvars, [cube]))
 
 
 def _restricted_mr_cover(
@@ -157,9 +155,10 @@ def _restricted_mr_cover(
     """
     segment = slice_.segment
     nvars = len(stg.signals)
+    signal_bit = segment.signal_table.bit(slice_.signal)
     producer = condition.producer
-    base_code = producer.code
-    base_config = segment.ancestors_of(producer)
+    base_code = producer.code_word
+    base_config = segment.ancestor_mask_of(producer)
     cubes: List[Cube] = []
     for boundary in boundaries:
         # A trigger can only "hold the boundary back" if it is a labelled
@@ -171,15 +170,14 @@ def _restricted_mr_cover(
             for c in boundary.preset
             if c.producer is not producer
             and c.producer.label is not None
-            and c.producer.eid not in base_config
+            and not base_config >> c.producer.eid & 1
         ]
         if usable_triggers:
             for trigger in usable_triggers:
-                dont_care = slice_.concurrent_signals_with_condition(
+                dont_care = slice_.concurrent_signal_mask_with_condition(
                     condition, exclude_events=[trigger]
-                )
-                dont_care.discard(slice_.signal)
-                cubes.append(_cube_from_code(stg, base_code, dont_care))
+                ) & ~signal_bit
+                cubes.append(_cube_from_word(nvars, base_code, dont_care))
             continue
         # No usable trigger.  If every input condition of the boundary is
         # already produced at the base state and can only be consumed by the
@@ -188,13 +186,13 @@ def _restricted_mr_cover(
         # contribute any state of this phase and is dropped.  Otherwise keep
         # the unrestricted cube (coverage first; refinement may tighten it).
         always_enabled = all(
-            c.producer.eid in base_config and len(c.consumers) == 1
+            base_config >> c.producer.eid & 1 and len(c.consumers) == 1
             for c in boundary.preset
         )
         if not always_enabled:
-            dont_care = slice_.concurrent_signals_with_condition(condition)
-            dont_care.discard(slice_.signal)
-            cubes.append(_cube_from_code(stg, base_code, dont_care))
+            dont_care = slice_.concurrent_signal_mask_with_condition(condition)
+            dont_care &= ~signal_bit
+            cubes.append(_cube_from_word(nvars, base_code, dont_care))
     cover = Cover(nvars, [])
     for cube in cubes:
         cover.add(cube)
@@ -206,9 +204,10 @@ def _mr_part(stg: STG, slice_: Slice, condition: Condition) -> CoverPart:
     nvars = len(stg.signals)
     feeding = [g for g in slice_.next_events if condition in g.preset]
     if not feeding:
-        dont_care = slice_.concurrent_signals_with_condition(condition)
-        dont_care.discard(slice_.signal)
-        cube = _cube_from_code(stg, condition.producer.code, dont_care)
+        signal_bit = slice_.segment.signal_table.bit(slice_.signal)
+        dont_care = slice_.concurrent_signal_mask_with_condition(condition)
+        dont_care &= ~signal_bit
+        cube = _cube_from_word(nvars, condition.producer.code_word, dont_care)
         return CoverPart("mr", slice_, condition, Cover(nvars, [cube]))
     cover = _restricted_mr_cover(stg, slice_, condition, feeding)
     return CoverPart("mr", slice_, condition, cover)
@@ -236,11 +235,12 @@ def approximate_signal_covers(
 # ---------------------------------------------------------------------- #
 # Refinement (Section 4.3)
 # ---------------------------------------------------------------------- #
-def _element_active(segment: UnfoldingSegment, element: Element, cut_condition_ids: Set[int]) -> bool:
+def _element_active(element: Element, cut_mask: int) -> bool:
     """True when the element 'holds' at a cut (condition marked / event enabled)."""
     if isinstance(element, Condition):
-        return element.cid in cut_condition_ids
-    return all(condition.cid in cut_condition_ids for condition in element.preset)
+        return bool(cut_mask >> element.cid & 1)
+    preset_mask = element.preset_mask
+    return cut_mask & preset_mask == preset_mask
 
 
 def _exact_part_cover(segment: UnfoldingSegment, part: CoverPart) -> Cover:
@@ -250,18 +250,16 @@ def _exact_part_cover(segment: UnfoldingSegment, part: CoverPart) -> Cover:
     stg = segment.stg
     nvars = len(stg.signals)
     slice_ = part.slice
-    index = stg.signal_index(slice_.signal)
-    codes: Set[Tuple[int, ...]] = set()
-    from ..unfolding.slices import _implied_value  # local import to avoid cycle
-
+    element = part.element
+    implied = segment.implied_value_word
+    codes: Set[int] = set()
     for cut in slice_.cuts():
-        cut_ids = {condition.cid for condition in cut.conditions}
-        if not _element_active(segment, part.element, cut_ids):
+        if not _element_active(element, cut.condition_mask):
             continue
-        if _implied_value(stg, cut.marking, cut.code, slice_.signal, index) != slice_.phase:
+        if implied(cut.marking_word, cut.code_word, slice_.signal) != slice_.phase:
             continue
-        codes.add(cut.code)
-    return Cover(nvars, [Cube.from_assignment(code) for code in sorted(codes)])
+        codes.add(cut.code_word)
+    return minterm_cover(nvars, codes)
 
 
 def _restrict_part(segment: UnfoldingSegment, part: CoverPart) -> Cover:

@@ -6,18 +6,22 @@ derives the same covers an SG-based tool would.  The paper points out that
 this approach "may suffer from exponential explosion of states" -- it is the
 reference the approximate path (Section 4.2/4.3) is compared against, and it
 also serves as the safe fallback when refinement detects a CSC problem.
+
+State recovery and cover extraction run entirely on packed states
+(``marking_word -> code_word``, see :mod:`repro.unfolding.cuts`): implied
+values are mask-ANDs of the packed marking against the original net's
+transition presets, and every cover is fed to espresso as ``(ones, zeros)``
+mask cubes (a packed code *is* a minterm) without tuple round-trips.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, Optional, Tuple
 
-from ..boolean import BooleanFunction, Cover, Cube, espresso
-from ..petrinet import Marking
+from ..boolean import BooleanFunction, Cover, espresso, minterm_cover
 from ..stg import STG
-from ..stg.signals import Direction
-from ..unfolding import UnfoldingSegment, reachable_states, unfold
+from ..unfolding import UnfoldingSegment, reachable_packed_states, unfold
 from .netlist import Gate, Implementation
 
 __all__ = [
@@ -27,44 +31,35 @@ __all__ = [
 ]
 
 
-def _implied_value(stg: STG, marking: FrozenSet[str], code: Tuple[int, ...], signal: str) -> int:
-    """Implied (next-state) value of a signal at a recovered state."""
-    marking_obj = Marking.from_places(marking)
-    value = code[stg.signal_index(signal)]
-    wanted = Direction.MINUS if value == 1 else Direction.PLUS
-    for transition in stg.transitions_of_signal(signal):
-        label = stg.label_of(transition)
-        if label.direction is wanted and stg.net.is_enabled(marking_obj, transition):
-            return label.target_value
-    return value
-
 
 def exact_signal_covers(
     segment: UnfoldingSegment,
     signal: str,
-    states: Optional[Dict[FrozenSet[str], Tuple[int, ...]]] = None,
+    states: Optional[Dict[int, int]] = None,
 ) -> Tuple[Cover, Cover, bool]:
     """Exact on/off covers of a signal recovered from the segment.
 
-    Returns ``(on_cover, off_cover, csc_conflict)``.  A CSC conflict is
-    present when the same binary code appears both in the on-set and in the
-    off-set (two markings share a code but imply different values).
+    ``states`` is the packed ``{marking_word: code_word}`` map of
+    :func:`~repro.unfolding.reachable_packed_states` (recovered here when
+    omitted).  Returns ``(on_cover, off_cover, csc_conflict)``.  A CSC
+    conflict is present when the same binary code appears both in the
+    on-set and in the off-set (two markings share a code but imply
+    different values).
     """
     stg = segment.stg
     if states is None:
-        states = reachable_states(segment)
+        states = reachable_packed_states(segment)
     nvars = len(stg.signals)
-    on_codes: Set[Tuple[int, ...]] = set()
-    off_codes: Set[Tuple[int, ...]] = set()
-    for marking, code in states.items():
-        if _implied_value(stg, marking, code, signal) == 1:
-            on_codes.add(code)
+    implied = segment.implied_value_word
+    on_codes = set()
+    off_codes = set()
+    for marking_word, code_word in states.items():
+        if implied(marking_word, code_word, signal) == 1:
+            on_codes.add(code_word)
         else:
-            off_codes.add(code)
+            off_codes.add(code_word)
     conflict = bool(on_codes & off_codes)
-    on_cover = Cover(nvars, [Cube.from_assignment(code) for code in sorted(on_codes)])
-    off_cover = Cover(nvars, [Cube.from_assignment(code) for code in sorted(off_codes)])
-    return on_cover, off_cover, conflict
+    return minterm_cover(nvars, on_codes), minterm_cover(nvars, off_codes), conflict
 
 
 class ExactUnfoldingSynthesisResult:
@@ -116,7 +111,7 @@ def synthesize_exact_from_unfolding(
     unfold_time = time.perf_counter() - t0
 
     t1 = time.perf_counter()
-    states = reachable_states(segment)
+    states = reachable_packed_states(segment)
     signals = stg.signals
     per_signal: Dict[str, Tuple[Cover, Cover, bool]] = {}
     for signal in stg.implementable_signals:
@@ -125,17 +120,24 @@ def synthesize_exact_from_unfolding(
 
     implementation = Implementation(stg.name, architecture, signals)
     t2 = time.perf_counter()
+    # The DC-set (unreachable codes) is signal-independent: on/off partition
+    # the reachable codes for every signal, so one complement serves all of
+    # them.  The ACG path avoids it entirely by blocking expansion with the
+    # off-set cover directly.
+    dc: Optional[Cover] = None
+    nvars = len(signals)
     for signal, (on_cover, off_cover, conflict) in per_signal.items():
         if conflict:
             if raise_on_csc:
                 raise ValueError("CSC conflict on signal %r" % signal)
             implementation.csc_conflicts.append(signal)
             continue
-        dc = on_cover.union(off_cover).complement()
         if architecture == "acg":
-            minimized = espresso(on_cover, dc).cover
+            minimized = espresso(on_cover, off=off_cover).cover
             gate = Gate(signal, architecture, function=BooleanFunction(signals, minimized))
         else:
+            if dc is None:
+                dc = minterm_cover(nvars, set(states.values())).complement()
             set_on, reset_on = _excitation_covers(segment, signal, states)
             set_dc = dc.union(_quiescent_cover(segment, signal, states, 1))
             reset_dc = dc.union(_quiescent_cover(segment, signal, states, 0))
@@ -161,49 +163,39 @@ def synthesize_exact_from_unfolding(
 def _excitation_covers(
     segment: UnfoldingSegment,
     signal: str,
-    states: Dict[FrozenSet[str], Tuple[int, ...]],
+    states: Dict[int, int],
 ) -> Tuple[Cover, Cover]:
     """Exact covers of ER(a+) and ER(a-) recovered from the segment."""
     stg = segment.stg
     nvars = len(stg.signals)
-    plus_codes: Set[Tuple[int, ...]] = set()
-    minus_codes: Set[Tuple[int, ...]] = set()
-    for marking, code in states.items():
-        marking_obj = Marking.from_places(marking)
-        for transition in stg.transitions_of_signal(signal):
-            if not stg.net.is_enabled(marking_obj, transition):
-                continue
-            label = stg.label_of(transition)
-            if label.direction is Direction.PLUS:
-                plus_codes.add(code)
-            else:
-                minus_codes.add(code)
-    return (
-        Cover(nvars, [Cube.from_assignment(c) for c in sorted(plus_codes)]),
-        Cover(nvars, [Cube.from_assignment(c) for c in sorted(minus_codes)]),
-    )
+    plus_presets, minus_presets = segment.signal_preset_masks(signal)
+    plus_codes = set()
+    minus_codes = set()
+    for marking_word, code_word in states.items():
+        if any(marking_word & preset == preset for preset in plus_presets):
+            plus_codes.add(code_word)
+        if any(marking_word & preset == preset for preset in minus_presets):
+            minus_codes.add(code_word)
+    return minterm_cover(nvars, plus_codes), minterm_cover(nvars, minus_codes)
 
 
 def _quiescent_cover(
     segment: UnfoldingSegment,
     signal: str,
-    states: Dict[FrozenSet[str], Tuple[int, ...]],
+    states: Dict[int, int],
     value: int,
 ) -> Cover:
     """Cover of the states where the signal is stable at ``value``."""
     stg = segment.stg
     nvars = len(stg.signals)
-    index = stg.signal_index(signal)
-    wanted = Direction.MINUS if value == 1 else Direction.PLUS
-    codes: Set[Tuple[int, ...]] = set()
-    for marking, code in states.items():
-        if code[index] != value:
+    bit = segment.signal_table.bit(signal)
+    plus_presets, minus_presets = segment.signal_preset_masks(signal)
+    opposing = minus_presets if value == 1 else plus_presets
+    codes = set()
+    for marking_word, code_word in states.items():
+        if bool(code_word & bit) != bool(value):
             continue
-        marking_obj = Marking.from_places(marking)
-        excited = any(
-            stg.label_of(t).direction is wanted and stg.net.is_enabled(marking_obj, t)
-            for t in stg.transitions_of_signal(signal)
-        )
-        if not excited:
-            codes.add(code)
-    return Cover(nvars, [Cube.from_assignment(c) for c in sorted(codes)])
+        if any(marking_word & preset == preset for preset in opposing):
+            continue
+        codes.add(code_word)
+    return minterm_cover(nvars, codes)

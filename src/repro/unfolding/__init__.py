@@ -2,7 +2,14 @@
 
 from .occurrence_net import Condition, Event, OccurrenceNet
 from .unfolder import UnfoldingError, UnfoldingSegment, unfold
-from .cuts import Cut, cut_enables, enumerate_cuts, initial_cut, reachable_states
+from .cuts import (
+    Cut,
+    cut_enables,
+    enumerate_cuts,
+    initial_cut,
+    reachable_packed_states,
+    reachable_states,
+)
 from .slices import Slice, off_slices, on_slices, slices_for_signal
 from .semimodularity import SemimodularityViolation, check_semimodularity
 
@@ -17,6 +24,7 @@ __all__ = [
     "cut_enables",
     "enumerate_cuts",
     "initial_cut",
+    "reachable_packed_states",
     "reachable_states",
     "Slice",
     "off_slices",

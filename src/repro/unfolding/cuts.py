@@ -6,38 +6,108 @@ every reachable marking is the image of at least one cut (Section 3.2).
 This module walks the cuts of a finished segment, which is how the *exact*
 synthesis path of the paper (Section 4.1) recovers binary states without
 ever building the State Graph explicitly.
+
+Everything is packed: a cut is a condition bitmask plus the packed
+``(marking_word, code_word)`` state it maps to, firing an event is three
+mask operations, and enabling is one AND against the event's preset mask.
+
+Deduplication
+-------------
+The unrestricted breadth-first walk prunes on the packed **state**
+``(marking_word, code_word)`` rather than on cut identity; state-equivalent
+cuts reached through different conditions used to be re-explored, which
+blows up exponentially on choice-rich nets.  Pruning on states is exact for
+segments truncated by the strict McMillan criterion: BFS depth equals
+configuration size, so the first cut enqueued for a state belongs to a
+*size-minimal* configuration; a size-minimal configuration contains no
+cutoff event (the cutoff's companion would give a strictly smaller
+same-state configuration), and the unfolder saturates possible extensions
+over non-dead conditions, so every transition enabled at the state has an
+event instance at that cut -- no successor state is lost.
+
+The argument needs the whole segment walked from the initial cut, so
+slice-restricted walks (``allowed_events``) and walks from a caller-supplied
+``start`` cut keep per-cut identity pruning (``dedup="cut"``, on the packed
+condition mask), as does the legacy reference mode used by the equivalence
+tests.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, Optional, Set, Tuple
 
+from ..core import iter_set_bits, unpack_code
 from .occurrence_net import Condition, Event
-from .unfolder import UnfoldingSegment
+from .unfolder import UnfoldingError, UnfoldingSegment
 
-__all__ = ["Cut", "initial_cut", "enumerate_cuts", "reachable_states", "cut_enables"]
+__all__ = [
+    "Cut",
+    "initial_cut",
+    "enumerate_cuts",
+    "reachable_states",
+    "reachable_packed_states",
+    "cut_enables",
+]
 
 
 class Cut:
-    """A cut together with its marking and binary code."""
+    """A cut together with its marking and binary code, all packed.
 
-    __slots__ = ("conditions", "marking", "code")
+    Attributes
+    ----------
+    condition_mask:
+        Bitmask of the cut's condition ids (the cut's canonical identity).
+    marking_word:
+        Packed marking over original places (bit ``i`` = place ``i`` of the
+        segment's place table).
+    code_word:
+        Packed binary code (bit ``i`` = signal ``i``).
+
+    ``conditions`` / ``marking`` / ``code`` decode those masks on demand.
+    """
+
+    __slots__ = ("segment", "condition_mask", "marking_word", "code_word", "_conditions")
 
     def __init__(
         self,
-        conditions: Tuple[Condition, ...],
-        marking: FrozenSet[str],
-        code: Tuple[int, ...],
+        segment: UnfoldingSegment,
+        condition_mask: int,
+        marking_word: int,
+        code_word: int,
     ) -> None:
-        self.conditions = conditions
-        self.marking = marking
-        self.code = code
+        self.segment = segment
+        self.condition_mask = condition_mask
+        self.marking_word = marking_word
+        self.code_word = code_word
+        self._conditions: Optional[Tuple[Condition, ...]] = None
 
     @property
-    def key(self) -> FrozenSet[int]:
-        """Canonical identity of the cut (condition ids)."""
-        return frozenset(condition.cid for condition in self.conditions)
+    def conditions(self) -> Tuple[Condition, ...]:
+        """The cut's conditions (decoded from the mask once, then cached)."""
+        if self._conditions is None:
+            self._conditions = tuple(self.segment.conditions_in(self.condition_mask))
+        return self._conditions
+
+    @property
+    def marking(self) -> FrozenSet[str]:
+        """The cut's marking as original place names."""
+        return frozenset(self.segment.place_table.names_in(self.marking_word))
+
+    @property
+    def code(self) -> Tuple[int, ...]:
+        """The cut's binary code as a tuple in ``stg.signals`` order."""
+        return unpack_code(self.code_word, len(self.segment.signal_table))
+
+    @property
+    def key(self) -> int:
+        """Canonical identity of the cut (the packed condition mask)."""
+        return self.condition_mask
+
+    @property
+    def state_key(self) -> Tuple[int, int]:
+        """The packed state the cut maps to."""
+        return (self.marking_word, self.code_word)
 
     def __repr__(self) -> str:
         return "Cut(%s, code=%s)" % (
@@ -48,17 +118,32 @@ class Cut:
 
 def initial_cut(segment: UnfoldingSegment) -> Cut:
     """The cut reached by the bottom event (the initial state)."""
-    conditions = tuple(segment.bottom.postset)
+    bottom = segment.bottom
     return Cut(
-        conditions,
-        frozenset(c.place for c in conditions),
-        segment.initial_code,
+        segment,
+        bottom.postset_mask,
+        segment.marking_word_of(bottom.postset_mask),
+        segment.initial_code_word,
     )
 
 
-def cut_enables(segment: UnfoldingSegment, cut_conditions: Set[int], event: Event) -> bool:
-    """True if every input condition of the event belongs to the cut."""
-    return all(condition.cid in cut_conditions for condition in event.preset)
+def cut_enables(cut_mask: int, event: Event) -> bool:
+    """True if every input condition of the event belongs to the cut mask."""
+    preset_mask = event.preset_mask
+    return cut_mask & preset_mask == preset_mask
+
+
+def _fire(segment: UnfoldingSegment, cut: Cut, event: Event) -> Cut:
+    """Fire a segment event from a cut, producing the successor cut."""
+    condition_mask = (cut.condition_mask & ~event.preset_mask) | event.postset_mask
+    marking_word = (cut.marking_word & ~event.preset_place_mask) | event.postset_place_mask
+    code_word = cut.code_word
+    if event.signal_bit:
+        if event.target_value:
+            code_word |= event.signal_bit
+        else:
+            code_word &= ~event.signal_bit
+    return Cut(segment, condition_mask, marking_word, code_word)
 
 
 def enumerate_cuts(
@@ -66,8 +151,14 @@ def enumerate_cuts(
     allowed_events: Optional[Set[int]] = None,
     start: Optional[Cut] = None,
     max_cuts: Optional[int] = None,
+    dedup: Optional[str] = None,
 ) -> Iterator[Cut]:
     """Breadth-first enumeration of the cuts of the segment.
+
+    By default a full walk from the initial cut yields **one representative
+    cut per packed (marking, code) state**, not every cut -- state-equivalent
+    cuts reached through different conditions are pruned (exactly, see the
+    module docstring).  Pass ``dedup="cut"`` to enumerate every cut.
 
     Parameters
     ----------
@@ -78,10 +169,32 @@ def enumerate_cuts(
         Starting cut; defaults to the initial cut.
     max_cuts:
         Optional safety bound.
+    dedup:
+        ``"state"`` prunes on the packed ``(marking_word, code_word)`` pair
+        (exact only for full-segment walks from the initial cut, see the
+        module docstring); ``"cut"`` prunes on cut identity (the packed
+        condition mask) and is the legacy reference behaviour.  Defaults to
+        ``"state"`` for unrestricted walks from the initial cut and
+        ``"cut"`` when ``allowed_events`` or ``start`` is given (the
+        exactness argument needs BFS depth to equal configuration size,
+        which only holds from the initial cut over the whole segment).
     """
+    if dedup is None:
+        dedup = "cut" if allowed_events is not None or start is not None else "state"
+    if dedup not in ("state", "cut"):
+        raise ValueError("dedup must be 'state' or 'cut', got %r" % (dedup,))
+    by_state = dedup == "state"
+
     first = start if start is not None else initial_cut(segment)
+    allowed_mask: Optional[int] = None
+    if allowed_events is not None:
+        allowed_mask = 0
+        for eid in allowed_events:
+            allowed_mask |= 1 << eid
+
     queue = deque([first])
-    seen: Set[FrozenSet[int]] = {first.key}
+    seen: Set[object] = {first.state_key if by_state else first.condition_mask}
+    conditions = segment.conditions
     produced = 0
     while queue:
         cut = queue.popleft()
@@ -89,41 +202,76 @@ def enumerate_cuts(
         produced += 1
         if max_cuts is not None and produced >= max_cuts:
             return
-        cut_ids = {condition.cid for condition in cut.conditions}
-        for condition in cut.conditions:
-            for event in condition.consumers:
-                if allowed_events is not None and event.eid not in allowed_events:
+        cut_mask = cut.condition_mask
+        for cid in iter_set_bits(cut_mask):
+            for event in conditions[cid].consumers:
+                if allowed_mask is not None and not allowed_mask >> event.eid & 1:
                     continue
-                if not cut_enables(segment, cut_ids, event):
+                preset_mask = event.preset_mask
+                if preset_mask & ((1 << cid) - 1):
+                    # The event will be (or was) visited via its lowest
+                    # preset condition; fire it from that one only so each
+                    # successor is generated once per cut.
+                    continue
+                if cut_mask & preset_mask != preset_mask:
                     continue
                 successor = _fire(segment, cut, event)
-                if successor.key not in seen:
-                    seen.add(successor.key)
+                key = successor.state_key if by_state else successor.condition_mask
+                if key not in seen:
+                    seen.add(key)
                     queue.append(successor)
 
 
-def _fire(segment: UnfoldingSegment, cut: Cut, event: Event) -> Cut:
-    """Fire a segment event from a cut, producing the successor cut."""
-    removed = {condition.cid for condition in event.preset}
-    conditions = tuple(
-        condition for condition in cut.conditions if condition.cid not in removed
-    ) + tuple(event.postset)
-    marking = frozenset(condition.place for condition in conditions)
-    code = list(cut.code)
-    if event.label is not None:
-        code[segment.stg.signal_index(event.label.signal)] = event.label.target_value
-    return Cut(conditions, marking, tuple(code))
-
-
-def reachable_states(
-    segment: UnfoldingSegment, max_cuts: Optional[int] = None
-) -> Dict[FrozenSet[str], Tuple[int, ...]]:
-    """Recover the reachable (marking, code) pairs from the segment.
+def reachable_packed_states(
+    segment: UnfoldingSegment,
+    max_cuts: Optional[int] = None,
+    legacy: bool = False,
+) -> Dict[int, int]:
+    """Recover the packed reachable states ``{marking_word: code_word}``.
 
     By the completeness of the segment this is exactly the state set of the
     State Graph; it is the ground truth the exact synthesis path works from.
+    A marking reached with two different binary codes violates consistent
+    state assignment and raises :class:`UnfoldingError` -- it is never
+    silently collapsed, which would mask CSC conflicts downstream.
+
+    ``legacy`` switches to the per-cut-identity reference walk (every cut
+    visited, exponentially slower on choice-rich nets) used by the
+    equivalence tests.
     """
-    states: Dict[FrozenSet[str], Tuple[int, ...]] = {}
-    for cut in enumerate_cuts(segment, max_cuts=max_cuts):
-        states.setdefault(cut.marking, cut.code)
+    states: Dict[int, int] = {}
+    dedup = "cut" if legacy else "state"
+    for cut in enumerate_cuts(segment, max_cuts=max_cuts, dedup=dedup):
+        existing = states.get(cut.marking_word)
+        if existing is None:
+            states[cut.marking_word] = cut.code_word
+        elif existing != cut.code_word:
+            nsignals = len(segment.signal_table)
+            raise UnfoldingError(
+                "inconsistent STG: marking {%s} recovered with two codes %s / %s"
+                % (
+                    ", ".join(sorted(segment.place_table.names_in(cut.marking_word))),
+                    "".join(map(str, unpack_code(existing, nsignals))),
+                    "".join(map(str, unpack_code(cut.code_word, nsignals))),
+                )
+            )
     return states
+
+
+def reachable_states(
+    segment: UnfoldingSegment,
+    max_cuts: Optional[int] = None,
+    legacy: bool = False,
+) -> Dict[FrozenSet[str], Tuple[int, ...]]:
+    """Recover the reachable (marking, code) pairs from the segment.
+
+    A decoded view of :func:`reachable_packed_states` (same exactness and
+    same :class:`UnfoldingError` on marking/code collisions).
+    """
+    packed = reachable_packed_states(segment, max_cuts=max_cuts, legacy=legacy)
+    names_in = segment.place_table.names_in
+    nsignals = len(segment.signal_table)
+    return {
+        frozenset(names_in(marking_word)): unpack_code(code_word, nsignals)
+        for marking_word, code_word in packed.items()
+    }

@@ -6,12 +6,33 @@ occurrence net whose conditions/events are labelled with places/transitions
 of the original STG; structural relations between its nodes -- causality,
 conflict and concurrency -- are what the synthesis algorithms of the paper
 operate on instead of the exponential State Graph.
+
+Packed representation
+---------------------
+The net keeps every derived relation as bitmask ints (see :mod:`repro.core`):
+
+* a set of conditions is an int whose bit ``cid`` is condition ``cid``
+  (cuts, co-sets, presets and postsets are all such masks);
+* a set of events is an int whose bit ``eid`` is event ``eid`` (local
+  configurations, ancestor sets);
+* the concurrency relation is stored as one *co row* per condition
+  (``co_masks[cid]`` = mask of the conditions concurrent with ``cid``),
+  maintained incrementally as postsets are attached with the standard
+  occurrence-net recurrence ``co(b) = (AND of co(preset)) | siblings``, so
+  ``x co y`` is one AND and a co-set check is one AND per member;
+* every condition carries the bit of its original place
+  (``condition.place_bit``) in the net's :class:`~repro.core.PlaceTable`,
+  so the marking of a cut is an OR over the cut mask;
+* events carry their binary code and final marking packed
+  (``code_word`` / ``marking_word``); the historical ``code`` tuple and
+  ``marking`` frozenset survive as decoding properties.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
+from ..core import PlaceTable, SignalTable, iter_set_bits, popcount, unpack_code
 from ..stg.signals import SignalTransition
 
 __all__ = ["Condition", "Event", "OccurrenceNet"]
@@ -23,9 +44,13 @@ class Condition:
     Attributes
     ----------
     cid:
-        Dense integer identifier.
+        Dense integer identifier; ``1 << cid`` is the condition's bit in
+        every condition mask.
     place:
         Name of the original STG place this condition is an instance of.
+    place_bit:
+        Bit of the original place in the net's :class:`PlaceTable` (so the
+        marking of a condition set is the OR of its ``place_bit``s).
     producer:
         The event that created the condition (the bottom event for initial
         conditions).
@@ -34,11 +59,12 @@ class Condition:
         has choice).
     """
 
-    __slots__ = ("cid", "place", "producer", "consumers")
+    __slots__ = ("cid", "place", "place_bit", "producer", "consumers")
 
-    def __init__(self, cid: int, place: str, producer: "Event") -> None:
+    def __init__(self, cid: int, place: str, place_bit: int, producer: "Event") -> None:
         self.cid = cid
         self.place = place
+        self.place_bit = place_bit
         self.producer = producer
         self.consumers: List["Event"] = []
 
@@ -58,53 +84,86 @@ class Event:
     Attributes
     ----------
     eid:
-        Dense integer identifier; the *bottom* event has id 0.
+        Dense integer identifier; the *bottom* event has id 0 and
+        ``1 << eid`` is the event's bit in every event mask.
     transition:
         Name of the original STG transition (``None`` for the bottom event).
     label:
         The signal transition labelling the instance (``None`` for dummies
         and for the bottom event).
     preset / postset:
-        Input and output conditions.
-    local_config:
-        Frozen set of event ids of the local configuration ``[e]`` (always
-        includes the event itself and the bottom event).
-    code:
-        Binary code reached by firing ``[e]`` from the initial state
-        (the paper's ``sigma_[e]``).
-    marking:
-        Final state of ``[e]`` mapped back onto original places.
+        Input and output conditions; ``preset_mask`` / ``postset_mask`` are
+        the same sets as condition masks and ``preset_place_mask`` /
+        ``postset_place_mask`` the corresponding original-place masks.
+    signal_bit / target_value:
+        Bit of the labelling signal in the net's :class:`SignalTable` and
+        the value the instance drives it to (``signal_bit`` is 0 for
+        dummies and the bottom event), so firing updates a packed code with
+        two integer ops.
+    local_config_mask:
+        Event mask of the local configuration ``[e]`` (always includes the
+        event itself and the bottom event).
+    code_word:
+        Packed binary code reached by firing ``[e]`` from the initial state
+        (the paper's ``sigma_[e]``); :attr:`code` decodes it to a tuple.
+    marking_word:
+        Packed final state of ``[e]`` over original places; :attr:`marking`
+        decodes it to a frozenset of place names.
     is_cutoff:
         True when the event was declared a cutoff by the unfolder.
     """
 
     __slots__ = (
         "eid",
+        "net",
         "transition",
         "label",
         "preset",
         "postset",
-        "local_config",
-        "code",
-        "marking",
+        "preset_mask",
+        "postset_mask",
+        "preset_place_mask",
+        "postset_place_mask",
+        "signal_bit",
+        "target_value",
+        "local_config_mask",
+        "code_word",
+        "marking_word",
         "is_cutoff",
     )
 
     def __init__(
         self,
         eid: int,
+        net: "OccurrenceNet",
         transition: Optional[str],
         label: Optional[SignalTransition],
         preset: Sequence[Condition],
     ) -> None:
         self.eid = eid
+        self.net = net
         self.transition = transition
         self.label = label
         self.preset: Tuple[Condition, ...] = tuple(preset)
         self.postset: Tuple[Condition, ...] = ()
-        self.local_config: FrozenSet[int] = frozenset()
-        self.code: Tuple[int, ...] = ()
-        self.marking: FrozenSet[str] = frozenset()
+        preset_mask = 0
+        preset_place_mask = 0
+        for condition in self.preset:
+            preset_mask |= 1 << condition.cid
+            preset_place_mask |= condition.place_bit
+        self.preset_mask = preset_mask
+        self.preset_place_mask = preset_place_mask
+        self.postset_mask = 0
+        self.postset_place_mask = 0
+        if label is not None and net.signal_table is not None:
+            self.signal_bit = net.signal_table.bit(label.signal)
+            self.target_value = label.target_value
+        else:
+            self.signal_bit = 0
+            self.target_value = 0
+        self.local_config_mask = 0
+        self.code_word = 0
+        self.marking_word = 0
         self.is_cutoff = False
 
     @property
@@ -115,7 +174,25 @@ class Event:
     @property
     def size(self) -> int:
         """Size of the local configuration (used by the McMillan order)."""
-        return len(self.local_config)
+        return popcount(self.local_config_mask)
+
+    @property
+    def local_config(self) -> FrozenSet[int]:
+        """Event ids of the local configuration ``[e]`` as a frozenset."""
+        return frozenset(iter_set_bits(self.local_config_mask))
+
+    @property
+    def code(self) -> Tuple[int, ...]:
+        """Binary code of ``[e]`` decoded from :attr:`code_word`."""
+        table = self.net.signal_table
+        if table is None:
+            return ()
+        return unpack_code(self.code_word, len(table))
+
+    @property
+    def marking(self) -> FrozenSet[str]:
+        """Final marking of ``[e]`` decoded from :attr:`marking_word`."""
+        return frozenset(self.net.place_table.names_in(self.marking_word))
 
     def __repr__(self) -> str:
         name = self.transition if self.transition is not None else "<bottom>"
@@ -131,12 +208,15 @@ class Event:
 class OccurrenceNet:
     """Container for conditions and events plus the derived relations.
 
-    The relations are computed lazily and cached:
+    The relations -- *causality* ``x <= y``, *conflict* ``x # y`` and
+    *concurrency* ``x co y`` -- are kept packed:
 
-    * *causality* ``x <= y``: ``x`` is in the causal past of ``y``;
-    * *conflict* ``x # y``: the local configurations contain distinct events
-      sharing an input condition;
-    * *concurrency* ``x co y``: neither ordered nor in conflict.
+    * per-event ancestor masks (``[e]`` as an event mask) answer causality
+      with one shift;
+    * per-event consumed-condition masks plus per-condition consumer masks
+      answer configuration conflict with a handful of ANDs;
+    * per-condition co rows (:attr:`co_masks`) answer condition concurrency
+      with one AND and are maintained incrementally while the net grows.
 
     All three are exposed for events and for conditions (a condition is
     identified with its producer event plus itself).
@@ -145,16 +225,29 @@ class OccurrenceNet:
     def __init__(self) -> None:
         self.conditions: List[Condition] = []
         self.events: List[Event] = []
-        # Cached per-event ancestor sets (event ids, including self).
-        self._ancestors: Dict[int, FrozenSet[int]] = {}
+        self.place_table: PlaceTable = PlaceTable()
+        self.signal_table: Optional[SignalTable] = None
+        # Per-condition concurrency rows (bit cid' of co_masks[cid] == cid co cid').
+        self.co_masks: List[int] = []
+        # Per-condition mask of consuming events.
+        self._consumer_masks: List[int] = []
+        # Cached per-event ancestor masks ([e] as event mask, including self).
+        self._ancestor_masks: Dict[int, int] = {}
+        # Cached per-event masks of the conditions consumed by [e].
+        self._consumed_masks: Dict[int, int] = {}
+        # Cached per-event masks of the conditions concurrent with the event.
+        self._event_co_masks: Dict[int, int] = {}
         self._conflict_cache: Dict[Tuple[int, int], bool] = {}
 
     # ------------------------------------------------------------------ #
     # Construction (used by the unfolder)
     # ------------------------------------------------------------------ #
     def new_condition(self, place: str, producer: Event) -> Condition:
-        condition = Condition(len(self.conditions), place, producer)
+        place_bit = 1 << self.place_table.intern(place)
+        condition = Condition(len(self.conditions), place, place_bit, producer)
         self.conditions.append(condition)
+        self.co_masks.append(0)
+        self._consumer_masks.append(0)
         return condition
 
     def new_event(
@@ -163,15 +256,38 @@ class OccurrenceNet:
         label: Optional[SignalTransition],
         preset: Sequence[Condition],
     ) -> Event:
-        event = Event(len(self.events), transition, label, preset)
+        event = Event(len(self.events), self, transition, label, preset)
         self.events.append(event)
+        bit = 1 << event.eid
         for condition in preset:
             condition.consumers.append(event)
+            self._consumer_masks[condition.cid] |= bit
         return event
 
     def attach_postset(self, event: Event, places: Iterable[str]) -> List[Condition]:
         postset = [self.new_condition(place, event) for place in places]
         event.postset = tuple(postset)
+        sibling_mask = 0
+        place_mask = 0
+        for condition in postset:
+            sibling_mask |= 1 << condition.cid
+            place_mask |= condition.place_bit
+        event.postset_mask = sibling_mask
+        event.postset_place_mask = place_mask
+        # Concurrency rows: a prior condition is concurrent with the new
+        # conditions exactly when it is concurrent with every input condition
+        # of the event; siblings of one postset are mutually concurrent.
+        if event.preset:
+            co = self.co_masks
+            shared = co[event.preset[0].cid]
+            for condition in event.preset[1:]:
+                shared &= co[condition.cid]
+        else:
+            shared = 0  # the bottom event has no earlier conditions
+        for condition in postset:
+            self.co_masks[condition.cid] = shared | (sibling_mask & ~(1 << condition.cid))
+        for cid in iter_set_bits(shared):
+            self.co_masks[cid] |= sibling_mask
         return postset
 
     # ------------------------------------------------------------------ #
@@ -199,24 +315,51 @@ class OccurrenceNet:
     def events_of_signal(self, signal: str) -> List[Event]:
         return [e for e in self.events if e.label is not None and e.label.signal == signal]
 
+    def conditions_in(self, mask: int) -> List[Condition]:
+        """The conditions whose bits are set in a condition mask."""
+        conditions = self.conditions
+        return [conditions[cid] for cid in iter_set_bits(mask)]
+
+    def marking_word_of(self, mask: int) -> int:
+        """Packed original-place marking of a condition mask."""
+        word = 0
+        conditions = self.conditions
+        for cid in iter_set_bits(mask):
+            word |= conditions[cid].place_bit
+        return word
+
     # ------------------------------------------------------------------ #
     # Causality
     # ------------------------------------------------------------------ #
-    def ancestors_of(self, event: Event) -> FrozenSet[int]:
-        """Event ids of the local configuration ``[e]`` (cached)."""
-        cached = self._ancestors.get(event.eid)
+    def ancestor_mask_of(self, event: Event) -> int:
+        """Event mask of the local configuration ``[e]`` (cached)."""
+        cached = self._ancestor_masks.get(event.eid)
         if cached is not None:
             return cached
-        result: Set[int] = {event.eid}
+        result = 1 << event.eid
         for condition in event.preset:
-            result |= self.ancestors_of(condition.producer)
-        frozen = frozenset(result)
-        self._ancestors[event.eid] = frozen
-        return frozen
+            result |= self.ancestor_mask_of(condition.producer)
+        self._ancestor_masks[event.eid] = result
+        return result
+
+    def ancestors_of(self, event: Event) -> FrozenSet[int]:
+        """Event ids of the local configuration ``[e]`` as a frozenset."""
+        return frozenset(iter_set_bits(self.ancestor_mask_of(event)))
+
+    def consumed_mask_of(self, event: Event) -> int:
+        """Mask of the conditions consumed by the events of ``[e]`` (cached)."""
+        cached = self._consumed_masks.get(event.eid)
+        if cached is not None:
+            return cached
+        result = event.preset_mask
+        for condition in event.preset:
+            result |= self.consumed_mask_of(condition.producer)
+        self._consumed_masks[event.eid] = result
+        return result
 
     def precedes(self, earlier: Event, later: Event) -> bool:
         """Causality on events: ``earlier <= later``."""
-        return earlier.eid in self.ancestors_of(later)
+        return bool(self.ancestor_mask_of(later) >> earlier.eid & 1)
 
     def strictly_precedes(self, earlier: Event, later: Event) -> bool:
         return earlier.eid != later.eid and self.precedes(earlier, later)
@@ -226,12 +369,10 @@ class OccurrenceNet:
 
         A condition precedes an event when one of its consumers is an
         ancestor of the event, or when it is an input condition of the event
-        itself.
+        itself -- both cases are covered by the consumed mask of ``[e]``,
+        which includes the event's own preset.
         """
-        if condition in event.preset:
-            return True
-        ancestors = self.ancestors_of(event)
-        return any(consumer.eid in ancestors for consumer in condition.consumers)
+        return bool(self.consumed_mask_of(event) >> condition.cid & 1)
 
     def event_precedes_condition(self, event: Event, condition: Condition) -> bool:
         """True when the event is in the causal past of the condition."""
@@ -248,27 +389,29 @@ class OccurrenceNet:
         cached = self._conflict_cache.get(key)
         if cached is not None:
             return cached
-        left_config = self.ancestors_of(left)
-        right_config = self.ancestors_of(right)
-        result = self._configs_in_conflict(left_config, right_config)
+        result = self._configs_in_conflict(left, right)
         self._conflict_cache[key] = result
         return result
 
-    def _configs_in_conflict(
-        self, left_config: FrozenSet[int], right_config: FrozenSet[int]
-    ) -> bool:
-        for eid in left_config:
-            event = self.events[eid]
-            for condition in event.preset:
-                for consumer in condition.consumers:
-                    if consumer.eid != eid and consumer.eid in right_config:
-                        return True
-        for eid in right_config:
-            event = self.events[eid]
-            for condition in event.preset:
-                for consumer in condition.consumers:
-                    if consumer.eid != eid and consumer.eid in left_config:
-                        return True
+    def _configs_in_conflict(self, left: Event, right: Event) -> bool:
+        """Conflict between the local configurations of two events.
+
+        Two configurations conflict when some condition is consumed by
+        *different* events across them; inside one (conflict-free)
+        configuration a condition has at most one consumer, so comparing the
+        per-condition consumer masks restricted to each side suffices.  The
+        consumed masks come from the memoized per-event cache.
+        """
+        shared = self.consumed_mask_of(left) & self.consumed_mask_of(right)
+        if not shared:
+            return False
+        left_config = self.ancestor_mask_of(left)
+        right_config = self.ancestor_mask_of(right)
+        consumer_masks = self._consumer_masks
+        for cid in iter_set_bits(shared):
+            consumers = consumer_masks[cid]
+            if consumers & left_config != consumers & right_config:
+                return True
         return False
 
     def conditions_in_conflict(self, left: Condition, right: Condition) -> bool:
@@ -278,60 +421,70 @@ class OccurrenceNet:
     # ------------------------------------------------------------------ #
     # Concurrency
     # ------------------------------------------------------------------ #
+    def event_co_mask(self, event: Event) -> int:
+        """Mask of the conditions concurrent with an event (cached).
+
+        ``e co c`` holds exactly when ``c`` is concurrent with every input
+        condition of ``e`` (and is not one of them), so the mask is the AND
+        of the co rows of the event's preset.  The bottom event (empty
+        preset) precedes everything and is concurrent with nothing.  Only
+        valid once the net is fully built: rows grow while it is extended.
+        """
+        cached = self._event_co_masks.get(event.eid)
+        if cached is not None:
+            return cached
+        if not event.preset:
+            result = 0
+        else:
+            co = self.co_masks
+            result = co[event.preset[0].cid]
+            for condition in event.preset[1:]:
+                result &= co[condition.cid]
+        self._event_co_masks[event.eid] = result
+        return result
+
     def concurrent_events(self, left: Event, right: Event) -> bool:
         """``left co right``: unordered and conflict-free."""
         if left.eid == right.eid:
             return False
-        if self.precedes(left, right) or self.precedes(right, left):
+        preset_mask = right.preset_mask
+        if not preset_mask:  # the bottom event precedes everything
             return False
-        return not self.in_conflict(left, right)
+        return self.event_co_mask(left) & preset_mask == preset_mask
 
     def concurrent_conditions(self, left: Condition, right: Condition) -> bool:
-        """Concurrency between two conditions.
+        """Concurrency between two conditions (one AND on the co rows).
 
         Conditions are concurrent when neither is consumed on the causal path
         to the other and their producers are conflict-free; this is the
         standard *co* relation used to identify cuts.
         """
-        if left is right:
-            return False
-        if self.in_conflict(left.producer, right.producer):
-            return False
-        if self._condition_before(left, right) or self._condition_before(right, left):
-            return False
-        return True
-
-    def _condition_before(self, first: Condition, second: Condition) -> bool:
-        """True when ``first`` must be consumed before ``second`` appears."""
-        producer = second.producer
-        if first in producer.preset:
-            return True
-        ancestors = self.ancestors_of(producer)
-        return any(consumer.eid in ancestors for consumer in first.consumers)
+        return bool(self.co_masks[left.cid] >> right.cid & 1)
 
     def concurrent_event_condition(self, event: Event, condition: Condition) -> bool:
         """Concurrency between an event and a condition."""
-        if self.in_conflict(event, condition.producer):
-            return False
-        # condition before event?
-        if self.condition_precedes_event(condition, event):
-            return False
-        # event before condition?
-        if self.event_precedes_condition(event, condition):
-            return False
-        return True
+        return bool(self.event_co_mask(event) >> condition.cid & 1)
 
     # ------------------------------------------------------------------ #
     # Co-sets
     # ------------------------------------------------------------------ #
+    def is_coset_mask(self, mask: int) -> bool:
+        """True when the conditions of a mask are pairwise concurrent."""
+        co = self.co_masks
+        for cid in iter_set_bits(mask):
+            if (co[cid] | (1 << cid)) & mask != mask:
+                return False
+        return True
+
     def is_coset(self, conditions: Sequence[Condition]) -> bool:
         """True when all conditions are pairwise concurrent."""
         items = list(conditions)
-        for index, left in enumerate(items):
-            for right in items[index + 1:]:
-                if not self.concurrent_conditions(left, right):
-                    return False
-        return True
+        mask = 0
+        for condition in items:
+            mask |= 1 << condition.cid
+        if popcount(mask) != len(items):
+            return False  # repeated conditions are never concurrent
+        return self.is_coset_mask(mask)
 
     def __repr__(self) -> str:
         return "OccurrenceNet(events=%d, conditions=%d)" % (

@@ -63,8 +63,7 @@ def check_semimodularity(segment: UnfoldingSegment) -> List[SemimodularityViolat
                 key = (event.eid, other.eid)
                 if key in reported:
                     continue
-                union = list(dict.fromkeys(list(event.preset) + list(other.preset)))
-                if _is_reachable_coset(segment, union):
+                if _is_reachable_coset(segment, event.preset_mask | other.preset_mask):
                     reported.add(key)
                     violations.append(
                         SemimodularityViolation(event, other, condition)
@@ -72,10 +71,10 @@ def check_semimodularity(segment: UnfoldingSegment) -> List[SemimodularityViolat
     return violations
 
 
-def _is_reachable_coset(segment: UnfoldingSegment, conditions: List[Condition]) -> bool:
-    """True when the given conditions can all hold tokens simultaneously."""
-    for index, left in enumerate(conditions):
-        for right in conditions[index + 1:]:
-            if not segment.concurrent_conditions(left, right):
-                return False
-    return True
+def _is_reachable_coset(segment: UnfoldingSegment, mask: int) -> bool:
+    """True when the conditions of the mask can hold tokens simultaneously.
+
+    Every co-set of an occurrence net is part of a reachable cut, so this is
+    one AND of each member's concurrency row against the mask.
+    """
+    return segment.is_coset_mask(mask)

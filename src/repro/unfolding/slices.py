@@ -13,13 +13,18 @@ uses one slice per signal-transition instance:
 The class below stores the entry event, the ``next`` instances bounding the
 slice, and the membership sets (events/conditions belonging to the slice)
 that drive both the exact state enumeration (Section 4.1) and the
-concurrency-based cover approximation (Section 4.2).
+concurrency-based cover approximation (Section 4.2).  Cuts, codes and
+don't-care signal sets are carried packed (condition masks / code words /
+signal masks); implied values are answered by mask-ANDing the packed cut
+marking against the original net's transition presets, with no per-state
+:class:`~repro.petrinet.marking.Marking` allocation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..core import unpack_code
 from ..stg.signals import Direction
 from .cuts import Cut, enumerate_cuts
 from .occurrence_net import Condition, Event
@@ -69,9 +74,19 @@ class Slice:
     # Cuts bounding the slice
     # ------------------------------------------------------------------ #
     @property
+    def min_cut_mask(self) -> int:
+        """The slice's min-cut as a packed condition mask."""
+        return self.segment.minimal_excitation_cut_mask(self.entry)
+
+    @property
     def min_cut(self) -> List[Condition]:
         """The slice's min-cut (minimal excitation cut of the entry)."""
-        return self.segment.minimal_excitation_cut(self.entry)
+        return self.segment.conditions_in(self.min_cut_mask)
+
+    @property
+    def min_code_word(self) -> int:
+        """Packed binary code of the min-cut."""
+        return self.segment.excitation_code_word(self.entry)
 
     @property
     def min_code(self) -> Tuple[int, ...]:
@@ -129,30 +144,51 @@ class Slice:
         self._member_conditions = conditions
         return conditions
 
-    def concurrent_signals_with_event(self, event: Event) -> Set[str]:
-        """Signals with slice instances concurrent to the given event."""
+    def concurrent_signal_mask_with_event(self, event: Event) -> int:
+        """Signal mask of slice instances concurrent to the given event."""
         segment = self.segment
-        signals: Set[str] = set()
+        mask = 0
         for other in self.member_events():
-            if other.label is None:
+            if not other.signal_bit or other.signal_bit & mask:
                 continue
             if segment.concurrent_events(event, other):
-                signals.add(other.label.signal)
-        return signals
+                mask |= other.signal_bit
+        return mask
+
+    def concurrent_signals_with_event(self, event: Event) -> Set[str]:
+        """Signals with slice instances concurrent to the given event."""
+        return set(
+            self.segment.signal_table.names_in(
+                self.concurrent_signal_mask_with_event(event)
+            )
+        )
+
+    def concurrent_signal_mask_with_condition(
+        self, condition: Condition, exclude_events: Sequence[Event] = ()
+    ) -> int:
+        """Signal mask of slice instances concurrent to the given condition."""
+        segment = self.segment
+        excluded = {event.eid for event in exclude_events}
+        mask = 0
+        bit = 1 << condition.cid
+        for other in self.member_events():
+            if not other.signal_bit or other.eid in excluded:
+                continue
+            if other.signal_bit & mask:
+                continue
+            if segment.event_co_mask(other) & bit:
+                mask |= other.signal_bit
+        return mask
 
     def concurrent_signals_with_condition(
         self, condition: Condition, exclude_events: Sequence[Event] = ()
     ) -> Set[str]:
         """Signals with slice instances concurrent to the given condition."""
-        segment = self.segment
-        excluded = {event.eid for event in exclude_events}
-        signals: Set[str] = set()
-        for other in self.member_events():
-            if other.label is None or other.eid in excluded:
-                continue
-            if segment.concurrent_event_condition(other, condition):
-                signals.add(other.label.signal)
-        return signals
+        return set(
+            self.segment.signal_table.names_in(
+                self.concurrent_signal_mask_with_condition(condition, exclude_events)
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # Exact state enumeration (Section 4.1)
@@ -165,31 +201,50 @@ class Slice:
 
     def cuts(self) -> Iterator[Cut]:
         """Enumerate the cuts encapsulated by the slice."""
-        start_conditions = tuple(self.min_cut)
+        segment = self.segment
+        mask = self.min_cut_mask
         start = Cut(
-            start_conditions,
-            frozenset(c.place for c in start_conditions),
-            self.min_code,
+            segment,
+            mask,
+            segment.marking_word_of(mask),
+            self.min_code_word,
         )
         return enumerate_cuts(
-            self.segment, allowed_events=self.allowed_event_ids(), start=start
+            segment, allowed_events=self.allowed_event_ids(), start=start
         )
 
-    def states(self) -> List[Tuple[FrozenSet[str], Tuple[int, ...]]]:
-        """States (marking, code) of the slice with the correct implied value.
+    def packed_states(self) -> List[Tuple[int, int]]:
+        """Packed ``(marking_word, code_word)`` states of the slice.
 
         The slice enumeration may reach cuts where the *next* instance of the
         signal is already excited (those belong to the opposite set); they
         are filtered out by evaluating the implied value of the signal on the
         original net, which also handles slices bounded by cutoffs.
         """
-        stg = self.segment.stg
-        index = stg.signal_index(self.signal)
-        result: List[Tuple[FrozenSet[str], Tuple[int, ...]]] = []
+        segment = self.segment
+        signal = self.signal
+        phase = self.phase
+        implied = segment.implied_value_word
+        result: List[Tuple[int, int]] = []
+        seen: Set[Tuple[int, int]] = set()
         for cut in self.cuts():
-            if _implied_value(stg, cut.marking, cut.code, self.signal, index) == self.phase:
-                result.append((cut.marking, cut.code))
+            state = (cut.marking_word, cut.code_word)
+            if state in seen:
+                continue
+            seen.add(state)
+            if implied(cut.marking_word, cut.code_word, signal) == phase:
+                result.append(state)
         return result
+
+    def states(self) -> List[Tuple[FrozenSet[str], Tuple[int, ...]]]:
+        """States (marking, code) of the slice with the correct implied value."""
+        segment = self.segment
+        names_in = segment.place_table.names_in
+        nsignals = len(segment.signal_table)
+        return [
+            (frozenset(names_in(marking_word)), unpack_code(code_word, nsignals))
+            for marking_word, code_word in self.packed_states()
+        ]
 
     def __repr__(self) -> str:
         return "Slice(signal=%r, phase=%d, entry=%s, next=%d)" % (
@@ -198,22 +253,6 @@ class Slice:
             self.entry,
             len(self.next_events),
         )
-
-
-def _implied_value(stg, marking, code, signal, index) -> int:
-    """Implied (next-state) value of a signal at a recovered state."""
-    from ..petrinet import Marking
-
-    marking_obj = Marking.from_places(marking)
-    value = code[index]
-    wanted = Direction.MINUS if value == 1 else Direction.PLUS
-    for transition in stg.transitions_of_signal(signal):
-        label = stg.label_of(transition)
-        if label.direction is not wanted:
-            continue
-        if stg.net.is_enabled(marking_obj, transition):
-            return 1 - value if value == 1 else 1
-    return value
 
 
 def slices_for_signal(
@@ -226,7 +265,7 @@ def slices_for_signal(
         for event in segment.events_of_signal(signal)
         if event.label.direction is wanted_direction
     ]
-    initial_value = segment.initial_code[segment.stg.signal_index(signal)]
+    initial_value = segment.initial_code_word >> segment.stg.signal_index(signal) & 1
     slices = [Slice(segment, signal, phase, entry) for entry in entries]
     if initial_value == phase:
         slices.insert(0, Slice(segment, signal, phase, segment.bottom))

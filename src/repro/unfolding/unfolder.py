@@ -14,6 +14,12 @@ general correctness criteria that can fail during construction are checked:
 
 The third criterion, semi-modularity, is checked on the finished segment
 (:mod:`repro.unfolding.semimodularity`).
+
+The construction runs entirely on the packed core: possible extensions are
+found by intersecting per-condition concurrency rows (one AND per candidate
+place instead of an ``is_coset`` product check), configurations are event
+masks, codes/markings are packed ints and the cutoff table is keyed on
+packed ``(marking_word, code_word)`` pairs.
 """
 
 from __future__ import annotations
@@ -22,8 +28,16 @@ import heapq
 import itertools
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..core import (
+    PackedNet,
+    SignalTable,
+    UnsafeNetError,
+    iter_set_bits,
+    pack_code,
+    popcount,
+    unpack_code,
+)
 from ..stg import STG, STGError
-from ..stg.signals import SignalTransition
 from .occurrence_net import Condition, Event, OccurrenceNet
 
 __all__ = ["UnfoldingError", "UnfoldingSegment", "unfold"]
@@ -40,8 +54,19 @@ class UnfoldingSegment(OccurrenceNet):
     ----------
     stg:
         The unfolded STG.
-    initial_code:
-        Binary code of the initial state (assigned to the bottom event).
+    signal_table:
+        Interned signals (bit ``i`` of a packed code = signal ``i`` in
+        ``stg.signals`` order).
+    place_table:
+        Interned original places, shared with :attr:`packed_net` so packed
+        cut markings are directly comparable with packed net markings.
+    packed_net:
+        The compiled token game of the original net (``None`` only when the
+        net cannot be packed, in which case :func:`unfold` refuses it
+        anyway).
+    initial_code / initial_code_word:
+        Binary code of the initial state (assigned to the bottom event), as
+        a tuple and packed.
     cutoffs:
         The cutoff events of the segment.
     """
@@ -49,45 +74,75 @@ class UnfoldingSegment(OccurrenceNet):
     def __init__(self, stg: STG) -> None:
         super().__init__()
         self.stg = stg
+        self.signal_table = SignalTable(stg.signals)
+        try:
+            self.packed_net: Optional[PackedNet] = PackedNet(stg.net)
+        except UnsafeNetError:
+            self.packed_net = None
+        else:
+            # Share the codec's table so condition place bits line up with
+            # the packed token game of the original net.
+            self.place_table = self.packed_net.codec.places
         self.initial_code: Tuple[int, ...] = ()
+        self.initial_code_word = 0
         self.cutoffs: List[Event] = []
+        # (direction-split) per-signal transition preset masks for implied
+        # value queries, built lazily.
+        self._signal_presets: Dict[str, Tuple[List[int], List[int]]] = {}
 
     # ------------------------------------------------------------------ #
     # Configuration-level helpers
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _config_mask(event_ids: Iterable[int]) -> int:
+        mask = 0
+        for eid in event_ids:
+            mask |= 1 << eid
+        return mask
+
     def config_events(self, event_ids: Iterable[int]) -> List[Event]:
         return [self.events[eid] for eid in sorted(event_ids)]
 
-    def config_cut(self, event_ids: FrozenSet[int]) -> List[Condition]:
+    def config_cut_mask(self, config_mask: int) -> int:
+        """The cut (condition mask) reached by firing a configuration."""
+        produced = 0
+        consumed = 0
+        events = self.events
+        for eid in iter_set_bits(config_mask):
+            event = events[eid]
+            produced |= event.postset_mask
+            consumed |= event.preset_mask
+        return produced & ~consumed
+
+    def config_cut(self, event_ids: Iterable[int]) -> List[Condition]:
         """The cut (set of conditions) reached by firing a configuration."""
-        produced: List[Condition] = []
-        consumed: Set[int] = set()
-        for eid in event_ids:
-            event = self.events[eid]
-            produced.extend(event.postset)
-            for condition in event.preset:
-                consumed.add(condition.cid)
-        return [condition for condition in produced if condition.cid not in consumed]
+        return self.conditions_in(self.config_cut_mask(self._config_mask(event_ids)))
 
-    def config_marking(self, event_ids: FrozenSet[int]) -> FrozenSet[str]:
+    def config_marking_word(self, config_mask: int) -> int:
+        """Packed final marking of a configuration over original places."""
+        return self.marking_word_of(self.config_cut_mask(config_mask))
+
+    def config_marking(self, event_ids: Iterable[int]) -> FrozenSet[str]:
         """Final state of a configuration mapped onto original places."""
-        return frozenset(condition.place for condition in self.config_cut(event_ids))
+        word = self.config_marking_word(self._config_mask(event_ids))
+        return frozenset(self.place_table.names_in(word))
 
-    def config_code(self, event_ids: FrozenSet[int]) -> Tuple[int, ...]:
-        """Binary code reached by firing a configuration.
+    def config_code_word(self, config_mask: int) -> int:
+        """Packed binary code reached by firing a configuration.
 
         For every signal the causally last instance inside the configuration
         determines the value; instances of the same signal inside one
         configuration must be totally ordered, otherwise the specification
         is inconsistent.
         """
-        code = list(self.initial_code)
-        by_signal: Dict[str, List[Event]] = {}
-        for eid in event_ids:
-            event = self.events[eid]
-            if event.label is not None:
-                by_signal.setdefault(event.label.signal, []).append(event)
-        for signal, instances in by_signal.items():
+        code = self.initial_code_word
+        by_signal: Dict[int, List[Event]] = {}
+        events = self.events
+        for eid in iter_set_bits(config_mask):
+            event = events[eid]
+            if event.signal_bit:
+                by_signal.setdefault(event.signal_bit, []).append(event)
+        for signal_bit, instances in by_signal.items():
             last = instances[0]
             for candidate in instances[1:]:
                 if self.precedes(last, candidate):
@@ -95,10 +150,19 @@ class UnfoldingSegment(OccurrenceNet):
                 elif not self.precedes(candidate, last):
                     raise UnfoldingError(
                         "inconsistent STG: concurrent instances of signal %r "
-                        "(%s and %s)" % (signal, last, candidate)
+                        "(%s and %s)"
+                        % (last.label.signal if last.label else "?", last, candidate)
                     )
-            code[self.stg.signal_index(signal)] = last.label.target_value
-        return tuple(code)
+            if last.target_value:
+                code |= signal_bit
+            else:
+                code &= ~signal_bit
+        return code
+
+    def config_code(self, event_ids: Iterable[int]) -> Tuple[int, ...]:
+        """Binary code reached by firing a configuration, as a tuple."""
+        word = self.config_code_word(self._config_mask(event_ids))
+        return unpack_code(word, len(self.signal_table))
 
     # ------------------------------------------------------------------ #
     # Per-event cuts (Section 3.2)
@@ -107,23 +171,74 @@ class UnfoldingSegment(OccurrenceNet):
         """The local configuration ``[e]``."""
         return self.ancestors_of(event)
 
+    def minimal_stable_cut_mask(self, event: Event) -> int:
+        """``c_min_s(e)`` as a condition mask."""
+        return self.config_cut_mask(self.ancestor_mask_of(event))
+
     def minimal_stable_cut(self, event: Event) -> List[Condition]:
         """``c_min_s(e)``: the state reached by firing ``[e]``."""
-        return self.config_cut(self.local_configuration(event))
+        return self.conditions_in(self.minimal_stable_cut_mask(event))
+
+    def minimal_excitation_cut_mask(self, event: Event) -> int:
+        """``c_min_e(e)`` as a condition mask."""
+        bottom_mask = 1 << self.bottom.eid
+        if event.is_bottom:
+            return self.config_cut_mask(bottom_mask)
+        causes = self.ancestor_mask_of(event) & ~(1 << event.eid)
+        return self.config_cut_mask(causes)
 
     def minimal_excitation_cut(self, event: Event) -> List[Condition]:
         """``c_min_e(e)``: the state at which ``e`` first becomes enabled."""
+        return self.conditions_in(self.minimal_excitation_cut_mask(event))
+
+    def excitation_code_word(self, event: Event) -> int:
+        """Packed binary code of ``c_min_e(e)``."""
         if event.is_bottom:
-            return self.config_cut(frozenset({0}))
-        causes = frozenset(self.local_configuration(event) - {event.eid})
-        return self.config_cut(causes)
+            return self.initial_code_word
+        causes = self.ancestor_mask_of(event) & ~(1 << event.eid)
+        return self.config_code_word(causes)
 
     def excitation_code(self, event: Event) -> Tuple[int, ...]:
         """Binary code of ``c_min_e(e)``."""
-        if event.is_bottom:
-            return self.initial_code
-        causes = frozenset(self.local_configuration(event) - {event.eid})
-        return self.config_code(causes)
+        return unpack_code(self.excitation_code_word(event), len(self.signal_table))
+
+    # ------------------------------------------------------------------ #
+    # Implied (next-state) values on packed states
+    # ------------------------------------------------------------------ #
+    def signal_preset_masks(self, signal: str) -> Tuple[List[int], List[int]]:
+        """Preset masks of the signal's rising / falling net transitions."""
+        cached = self._signal_presets.get(signal)
+        if cached is not None:
+            return cached
+        pnet = self.packed_net
+        if pnet is None:  # pragma: no cover - unfold() refuses such nets
+            raise UnfoldingError("net is not packable; no packed token game")
+        plus: List[int] = []
+        minus: List[int] = []
+        for transition in self.stg.transitions_of_signal(signal):
+            label = self.stg.label_of(transition)
+            mask = pnet.presets[pnet.transition_index(transition)]
+            (plus if label.target_value == 1 else minus).append(mask)
+        self._signal_presets[signal] = (plus, minus)
+        return plus, minus
+
+    def implied_value_word(self, marking_word: int, code_word: int, signal: str) -> int:
+        """Implied (next-state) value of a signal at a packed state.
+
+        The implied value flips when an opposite-direction transition of the
+        signal is enabled at the marking; enabledness is one mask-AND per
+        candidate transition against the packed marking.
+        """
+        plus, minus = self.signal_preset_masks(signal)
+        if code_word & self.signal_table.bit(signal):
+            for preset in minus:
+                if marking_word & preset == preset:
+                    return 0
+            return 1
+        for preset in plus:
+            if marking_word & preset == preset:
+                return 1
+        return 0
 
     # ------------------------------------------------------------------ #
     # Signal-instance structure (first / next of the paper)
@@ -224,134 +339,157 @@ def unfold(
 
     segment = UnfoldingSegment(stg)
     segment.initial_code = stg.initial_code()
+    segment.initial_code_word = pack_code(segment.initial_code)
 
     # Bottom event and initial conditions.
     bottom = segment.new_event(None, None, preset=())
     segment.attach_postset(bottom, sorted(initial_marking.places))
-    bottom.local_config = frozenset({bottom.eid})
-    bottom.code = segment.initial_code
-    bottom.marking = frozenset(initial_marking.places)
+    bottom.local_config_mask = 1 << bottom.eid
+    bottom.code_word = segment.initial_code_word
+    bottom.marking_word = segment.marking_word_of(bottom.postset_mask)
 
-    state_sizes: Dict[Tuple[FrozenSet[str], Tuple[int, ...]], int] = {
-        (bottom.marking, bottom.code): 1
+    # Cutoff table: packed (marking_word, code_word) -> smallest |config|.
+    state_sizes: Dict[Tuple[int, int], int] = {
+        (bottom.marking_word, bottom.code_word): 1
     }
 
-    dead_conditions: Set[int] = set()
-    seen_extensions: Set[Tuple[str, FrozenSet[int]]] = set()
+    dead_mask = 0  # condition mask of cutoff postsets
+    seen_extensions: Set[Tuple[str, int]] = set()
     counter = itertools.count()
-    queue: List[Tuple[int, int, str, Tuple[int, ...]]] = []
+    queue: List[Tuple[int, int, str, int]] = []
 
-    conditions_by_place: Dict[str, List[Condition]] = {}
+    # Per-place mask of the condition instances of that place.
+    conditions_by_place: Dict[str, int] = {}
+
+    co_masks = segment.co_masks
+    all_conditions = segment.conditions
 
     def register_conditions(conditions: Sequence[Condition]) -> None:
         for condition in conditions:
-            conditions_by_place.setdefault(condition.place, []).append(condition)
+            conditions_by_place[condition.place] = (
+                conditions_by_place.get(condition.place, 0) | (1 << condition.cid)
+            )
 
-    def extension_size(preset: Sequence[Condition]) -> int:
-        config: Set[int] = set()
-        for condition in preset:
-            config |= segment.ancestors_of(condition.producer)
-        return len(config) + 1
+    def extension_size(preset_mask: int) -> int:
+        config = 0
+        for cid in iter_set_bits(preset_mask):
+            config |= segment.ancestor_mask_of(all_conditions[cid].producer)
+        return popcount(config) + 1
+
+    def emit_extension(transition: str, preset_mask: int) -> None:
+        key = (transition, preset_mask)
+        if key in seen_extensions:
+            return
+        seen_extensions.add(key)
+        heapq.heappush(
+            queue,
+            (extension_size(preset_mask), next(counter), transition, preset_mask),
+        )
+
+    def collect_cosets(
+        transition: str, places: Sequence[str], chosen_mask: int, allowed: int
+    ) -> None:
+        """Enumerate co-sets matching the remaining preset places.
+
+        ``allowed`` is the running intersection of the co rows of the
+        conditions chosen so far, so every candidate kept is concurrent with
+        all of them -- the product-then-``is_coset`` filter of the legacy
+        implementation collapses into one AND per candidate.
+        """
+        if not places:
+            emit_extension(transition, chosen_mask)
+            return
+        candidates = conditions_by_place.get(places[0], 0) & allowed
+        rest = places[1:]
+        for cid in iter_set_bits(candidates):
+            collect_cosets(
+                transition,
+                rest,
+                chosen_mask | (1 << cid),
+                allowed & co_masks[cid],
+            )
 
     def push_extensions(new_conditions: Sequence[Condition]) -> None:
         """Find possible extensions involving at least one new condition."""
         for new_condition in new_conditions:
-            if new_condition.cid in dead_conditions:
+            bit = 1 << new_condition.cid
+            if bit & dead_mask:
                 continue
             for transition in net.place_postset(new_condition.place):
-                preset_places = sorted(net.preset(transition))
-                choices: List[List[Condition]] = []
-                feasible = True
-                for place in preset_places:
-                    if place == new_condition.place:
-                        choices.append([new_condition])
-                        continue
-                    candidates = [
-                        condition
-                        for condition in conditions_by_place.get(place, [])
-                        if condition.cid not in dead_conditions
-                        and segment.concurrent_conditions(condition, new_condition)
-                    ]
-                    if not candidates:
-                        feasible = False
-                        break
-                    choices.append(candidates)
-                if not feasible:
-                    continue
-                for combo in itertools.product(*choices):
-                    if not segment.is_coset(combo):
-                        continue
-                    key = (transition, frozenset(c.cid for c in combo))
-                    if key in seen_extensions:
-                        continue
-                    seen_extensions.add(key)
-                    heapq.heappush(
-                        queue,
-                        (
-                            extension_size(combo),
-                            next(counter),
-                            transition,
-                            tuple(c.cid for c in combo),
-                        ),
-                    )
+                other_places = sorted(
+                    place for place in net.preset(transition)
+                    if place != new_condition.place
+                )
+                collect_cosets(
+                    transition,
+                    other_places,
+                    bit,
+                    co_masks[new_condition.cid] & ~dead_mask,
+                )
 
     register_conditions(bottom.postset)
     push_extensions(bottom.postset)
 
     while queue:
-        _size, _tie, transition, preset_ids = heapq.heappop(queue)
-        preset = [segment.conditions[cid] for cid in preset_ids]
+        _size, _tie, transition, preset_mask = heapq.heappop(queue)
+        preset = [all_conditions[cid] for cid in iter_set_bits(preset_mask)]
         label = stg.label_of(transition)
         event = segment.new_event(transition, label, preset)
 
-        config: Set[int] = {event.eid}
+        config_mask = 1 << event.eid
         for condition in preset:
-            config |= segment.ancestors_of(condition.producer)
-        event.local_config = frozenset(config)
+            config_mask |= segment.ancestor_mask_of(condition.producer)
+        event.local_config_mask = config_mask
         # Seed the ancestor cache so later queries are O(1).
-        segment._ancestors[event.eid] = event.local_config
+        segment._ancestor_masks[event.eid] = config_mask
 
-        causes = frozenset(event.local_config - {event.eid})
-        cause_code = segment.config_code(causes)
+        causes_mask = config_mask & ~(1 << event.eid)
+        cause_code = segment.config_code_word(causes_mask)
         if (
             check_consistency
-            and label is not None
-            and cause_code[stg.signal_index(label.signal)] != label.source_value
+            and event.signal_bit
+            and bool(cause_code & event.signal_bit) != (label.source_value == 1)
         ):
             raise UnfoldingError(
                 "inconsistent state assignment: instance of %s enabled while "
                 "%s = %d" % (transition, label.signal, label.target_value)
             )
 
-        code = list(cause_code)
-        if label is not None:
-            code[stg.signal_index(label.signal)] = label.target_value
-        event.code = tuple(code)
+        if event.signal_bit:
+            if event.target_value:
+                event.code_word = cause_code | event.signal_bit
+            else:
+                event.code_word = cause_code & ~event.signal_bit
+        else:
+            event.code_word = cause_code
 
         postset_places = sorted(net.postset(transition))
         postset = segment.attach_postset(event, postset_places)
         register_conditions(postset)
 
-        cut_places = [c.place for c in segment.config_cut(event.local_config)]
-        if len(set(cut_places)) != len(cut_places):
+        cut_mask = segment.config_cut_mask(config_mask)
+        marking_word = segment.marking_word_of(cut_mask)
+        if popcount(marking_word) != popcount(cut_mask):
+            # Two conditions of the cut share an original place.
             raise UnfoldingError(
                 "non-safe marking reached by firing %s; only safe STGs are supported"
                 % transition
             )
-        event.marking = frozenset(cut_places)
+        event.marking_word = marking_word
 
-        # Cutoff check (McMillan, on the (marking, code) pair).
-        state = (event.marking, event.code)
+        # Cutoff check (McMillan, on the packed (marking, code) pair).
+        state = (marking_word, event.code_word)
+        config_size = popcount(config_mask)
         known_size = state_sizes.get(state)
-        if known_size is not None and known_size < len(event.local_config):
+        if known_size is not None and known_size < config_size:
             event.is_cutoff = True
             segment.cutoffs.append(event)
         else:
-            if known_size is None or len(event.local_config) < known_size:
-                state_sizes[state] = len(event.local_config)
+            if known_size is None or config_size < known_size:
+                state_sizes[state] = config_size
 
         if event.is_cutoff:
-            dead_conditions.update(condition.cid for condition in postset)
+            dead_mask |= event.postset_mask
         else:
             push_extensions(postset)
 
