@@ -19,7 +19,10 @@ end-to-end before/after numbers, and the unfolding engine's state-recovery
 rate in both the state-pruned packed walk and the per-cut legacy reference
 walk), so the perf trajectory of the packed state core is tracked commit
 over commit.  The Table 1 rows include the unfolding-exact method next to
-unfolding-approx and the SG baseline.
+unfolding-approx and the SG baseline.  Two encoding-layer entries ride
+along: ``csc_check_states_per_sec`` (rate of the packed USC+CSC sweep on
+``muller_pipeline(12)``) and ``csc_resolution_largest`` (end-to-end
+``resolve_csc`` on the largest non-CSC generator, ``csc_arbiter(8)``).
 """
 
 import argparse
@@ -28,8 +31,10 @@ import time
 
 import pytest
 
+from repro.encoding import resolve_csc
 from repro.flow import format_table, run_table1
-from repro.stg import muller_pipeline, table1_suite
+from repro.stategraph import build_state_graph, check_csc, check_usc
+from repro.stg import csc_arbiter, muller_pipeline, table1_suite
 from repro.synthesis import synthesize
 from repro.unfolding import reachable_packed_states, unfold
 
@@ -122,6 +127,40 @@ def _time_unfolding_recovery(stg, legacy):
     }
 
 
+def _time_csc_check(stages=12):
+    """Rate of the packed USC+CSC check on a large conflict-free graph."""
+    graph = build_state_graph(muller_pipeline(stages))
+    t0 = time.perf_counter()
+    usc = check_usc(graph)
+    csc = check_csc(graph)
+    seconds = time.perf_counter() - t0
+    # Both checks sweep every state once; rate counts one combined pass.
+    return {
+        "stages": stages,
+        "states": graph.num_states,
+        "seconds": round(seconds, 4),
+        "states_per_sec": round(graph.num_states / seconds) if seconds > 0 else None,
+        "usc_conflicts": usc.num_conflicts,
+        "csc_conflicts": csc.num_conflicts,
+    }
+
+
+def _time_csc_resolution(clients=8, max_signals=6):
+    """End-to-end CSC resolution of the largest non-CSC generator workload."""
+    stg = csc_arbiter(clients)
+    result = resolve_csc(stg, max_signals=max_signals)
+    return {
+        "benchmark": stg.name,
+        "seconds": round(result.elapsed, 4),
+        "signals_added": result.num_inserted,
+        "resolved": result.resolved,
+        "conflicts_before": result.conflicts_before,
+        "conflicts_after": result.conflicts_after,
+        "states": result.graph.num_states,
+        "projection_ok": result.projection.ok if result.projection else None,
+    }
+
+
 def collect_json(max_signals=14, baseline_seconds=None, unfolding_baseline_seconds=None):
     """Measure the perf numbers the repo tracks across commits."""
     entries = [e for e in table1_suite() if e.expected_signals <= max_signals]
@@ -156,6 +195,8 @@ def collect_json(max_signals=14, baseline_seconds=None, unfolding_baseline_secon
                 else None
             ),
         },
+        "csc_check_states_per_sec": _time_csc_check(),
+        "csc_resolution_largest": _time_csc_resolution(),
         "table1_rows": [dict(row) for row in rows],
     }
     return report
@@ -204,6 +245,21 @@ def main(argv=None):
             unf["packed_state_dedup"]["seconds"],
             unf["packed_state_dedup"]["states_per_sec"],
             unf["legacy_cut_dedup"]["seconds"],
+        )
+    )
+    csc = report["csc_check_states_per_sec"]
+    print(
+        "muller_pipeline(12) USC+CSC check: %.3fs (%s states/s)"
+        % (csc["seconds"], csc["states_per_sec"])
+    )
+    resolution = report["csc_resolution_largest"]
+    print(
+        "%s resolve_csc: %.3fs, %d signals, resolved=%s"
+        % (
+            resolution["benchmark"],
+            resolution["seconds"],
+            resolution["signals_added"],
+            resolution["resolved"],
         )
     )
     return 0

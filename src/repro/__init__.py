@@ -13,6 +13,9 @@ Public API overview
     Petri-net kernel (markings, reachability, structural analysis).
 ``repro.stategraph``
     Explicit State Graphs, excitation/quiescent regions, CSC checks.
+``repro.encoding``
+    CSC conflict resolution by internal-signal insertion:
+    ``resolve_csc(stg)`` returns a rewritten, synthesisable STG.
 ``repro.bdd``
     ROBDD package and symbolic reachability (the Petrify-like baseline).
 ``repro.unfolding``
@@ -36,11 +39,14 @@ Quick start
 >>> print(result.implementation.to_text())
 """
 
+from .encoding import EncodingResult, resolve_csc
 from .synthesis import SynthesisResult, synthesize
 from .sim import simulate_implementation, simulate_spec
 from .stg import STG, parse_g, parse_g_file, write_g
 
 __all__ = [
+    "EncodingResult",
+    "resolve_csc",
     "SynthesisResult",
     "synthesize",
     "simulate_implementation",

@@ -61,6 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the simulator-backed conformance column",
     )
+    table1.add_argument(
+        "--resolve-encoding",
+        action="store_true",
+        help="resolve CSC conflicts by signal insertion before synthesis",
+    )
 
     fig6 = sub.add_parser("figure6", help="reproduce the Figure 6 scaling experiment")
     fig6.add_argument("--stages", nargs="+", type=int, default=[2, 4, 6, 8, 10])
@@ -98,6 +103,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-on-anomaly",
         action="store_true",
         help="exit non-zero when any row's outcome is error or timeout",
+    )
+    batch.add_argument(
+        "--resolve-encoding",
+        action="store_true",
+        help="resolve CSC conflicts by signal insertion before synthesis (table1 only)",
+    )
+
+    csc = sub.add_parser(
+        "csc",
+        help="detect CSC conflicts and resolve them by internal-signal insertion",
+    )
+    csc.add_argument(
+        "specs", nargs="+", help="paths to .g files or built-in benchmark names"
+    )
+    csc.add_argument(
+        "--max-signals", type=int, default=3, help="insertion budget per specification"
+    )
+    csc.add_argument(
+        "--no-resolve", action="store_true", help="only report conflicts, do not insert"
+    )
+    csc.add_argument("--seed", type=int, default=0, help="candidate tie-break seed")
+    csc.add_argument(
+        "--fail-on-unresolved",
+        action="store_true",
+        help="exit non-zero when any specification keeps CSC conflicts",
+    )
+    csc.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the resolved STG as a .g file (single spec only)",
     )
 
     simulate = sub.add_parser(
@@ -166,12 +202,17 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     if args.benchmarks:
         entries = [benchmark_by_name(name) for name in args.benchmarks]
     rows = run_table1(
-        entries=entries, methods=args.methods, conformance=not args.no_conformance
+        entries=entries,
+        methods=args.methods,
+        conformance=not args.no_conformance,
+        resolve_encoding=args.resolve_encoding,
     )
     columns = ["benchmark", "signals", "UnfTim", "SynTim", "EspTim", "TotTim", "LitCnt"]
     for method in args.methods:
         if method != "unfolding-approx":
             columns += ["%s_total" % method, "%s_literals" % method]
+    if args.resolve_encoding:
+        columns += ["csc_signals_added", "csc_resolved"]
     if not args.no_conformance:
         columns.append("Conf")
     print(format_table(rows, columns))
@@ -193,11 +234,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             task_timeout=args.timeout,
             conformance=not args.no_conformance,
+            resolve_encoding=args.resolve_encoding,
         )
         columns = ["benchmark", "signals", "TotTim", "LitCnt"]
         for method in args.methods:
             if method != "unfolding-approx":
                 columns += ["%s_total" % method, "%s_literals" % method]
+        if args.resolve_encoding:
+            columns += ["csc_signals_added", "csc_resolved"]
         if not args.no_conformance:
             columns.append("Conf")
     else:
@@ -228,6 +272,63 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 def _cmd_counterflow(_args: argparse.Namespace) -> int:
     row = run_counterflow()
     print(format_table([row], ["signals", "method", "time", "literals", "segment_events"]))
+    return 0
+
+
+def _cmd_csc(args: argparse.Namespace) -> int:
+    from .encoding import resolve_csc
+    from .stategraph import build_state_graph, check_csc
+
+    if args.output and len(args.specs) > 1:
+        raise SystemExit("--output requires a single specification")
+    rows = []
+    unresolved = []
+    for spec in args.specs:
+        stg = _load_stg(spec)
+        output_stg = stg
+        graph = build_state_graph(stg)
+        before = check_csc(graph)
+        row = {
+            "benchmark": stg.name,
+            "states": graph.num_states,
+            "conflicts": before.num_conflicts,
+        }
+        if args.no_resolve or before.satisfied:
+            row["resolved"] = before.satisfied
+            row["inserted"] = ""
+            if not before.satisfied:
+                unresolved.append(stg.name)
+        else:
+            result = resolve_csc(
+                stg, graph, max_signals=args.max_signals, seed=args.seed
+            )
+            row["inserted"] = ",".join(result.inserted)
+            row["conflicts_after"] = result.conflicts_after
+            row["resolved"] = result.resolved
+            row["resolved_states"] = result.graph.num_states
+            row["seconds"] = round(result.elapsed, 4)
+            if result.projection is not None and not result.projection.ok:
+                for line in result.projection.failures:
+                    print("# projection violation [%s]: %s" % (stg.name, line))
+            if not row["resolved"]:
+                unresolved.append(stg.name)
+            output_stg = result.stg
+        if args.output:
+            # Clean / --no-resolve specs are re-serialised as loaded.
+            write_g_file(output_stg, args.output)
+        rows.append(row)
+    columns = [
+        "benchmark", "states", "conflicts", "inserted", "conflicts_after",
+        "resolved_states", "seconds", "resolved",
+    ]
+    print(format_table(rows, columns))
+    if args.output:
+        print("# wrote %s" % args.output)
+    if unresolved:
+        for name in unresolved:
+            print("# unresolved CSC conflicts: %s" % name)
+        if args.fail_on_unresolved:
+            return 1
     return 0
 
 
@@ -272,6 +373,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure6": _cmd_figure6,
         "counterflow": _cmd_counterflow,
         "batch": _cmd_batch,
+        "csc": _cmd_csc,
         "simulate": _cmd_simulate,
         "export": _cmd_export,
     }

@@ -1,0 +1,57 @@
+"""repro.encoding -- automatic CSC conflict resolution by signal insertion.
+
+The synthesis flows require Complete State Coding: two reachable states may
+share a binary code only if they excite the same implementable signals.
+Specifications violating CSC (the VME bus controller, round-robin arbiters,
+most controllers with genuinely hidden internal state) used to dead-end at
+detection; this package *resolves* the conflicts by inserting fresh internal
+state signals, the canonical encoding step of the petrify flow the paper
+builds on.
+
+Pipeline (all on the packed State Graph representation):
+
+* :mod:`~repro.encoding.conflicts` groups conflict pairs into
+  :class:`ConflictCore` equivalence classes per shared code word;
+* :mod:`~repro.encoding.regions` enumerates speed-independence-preserving
+  :class:`InsertionRegion` candidates -- ``(t_on, t_off)`` event boundaries
+  whose phase labelling over the State Graph is consistent and which never
+  delay an input transition -- stored as packed state masks;
+* :mod:`~repro.encoding.insertion` scores regions (conflict pairs separated,
+  then estimated literal cost) and rewrites the STG by splicing
+  ``csc<k>+ / csc<k>-`` transitions on the chosen boundaries;
+* :func:`resolve_csc` iterates insert-and-rebuild until CSC holds or the
+  signal budget is spent, validating every accepted insertion (consistency,
+  output persistency, strict conflict reduction) and finally checking
+  projection conformance of the rewritten STG against the original with the
+  inserted signals hidden (:mod:`~repro.encoding.conformance`).
+
+>>> from repro.stg import vme_bus_controller
+>>> from repro.encoding import resolve_csc
+>>> result = resolve_csc(vme_bus_controller())
+>>> result.resolved, result.inserted
+(True, ['csc0'])
+"""
+
+from .conflicts import ConflictCore, conflict_cores, num_conflict_pairs, separation_gain
+from .conformance import ProjectionReport, projection_conforms
+from .insertion import apply_insertion, choose_insertion, estimate_cost, fresh_signal_name
+from .regions import InsertionRegion, candidate_regions, legal_splice_points
+from .resolve import EncodingResult, resolve_csc
+
+__all__ = [
+    "ConflictCore",
+    "conflict_cores",
+    "num_conflict_pairs",
+    "separation_gain",
+    "ProjectionReport",
+    "projection_conforms",
+    "apply_insertion",
+    "choose_insertion",
+    "estimate_cost",
+    "fresh_signal_name",
+    "InsertionRegion",
+    "candidate_regions",
+    "legal_splice_points",
+    "EncodingResult",
+    "resolve_csc",
+]

@@ -1,0 +1,137 @@
+"""CSC conflict cores on the packed State Graph.
+
+A CSC *conflict pair* is two states with equal binary codes but different
+excited implementable signals.  Pairwise reports (``check_csc``) are the
+right shape for detection, but resolution works on *cores*: for every code
+word carrying a conflict, the states sharing that code are partitioned into
+equivalence classes by their excitation signature (the packed
+``(excited_plus | excited_minus) & implementable`` bitmask).  Any inserted
+state signal must tell states in *different* classes apart; states in the
+same class may keep sharing a code forever.
+
+Everything is stored packed: a set of states is one int over state indices
+(bit ``s`` = state ``s``), a signature is one int over signal indices, so
+scoring a candidate insertion region against a core is pure mask algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core import popcount
+from ..stategraph import StateGraph
+
+__all__ = ["ConflictCore", "conflict_cores", "num_conflict_pairs", "separation_gain"]
+
+
+class ConflictCore:
+    """All states sharing one conflicting code word, grouped by signature.
+
+    Attributes
+    ----------
+    code_word:
+        The shared packed binary code.
+    states_mask:
+        Packed mask over state indices of every state carrying the code.
+    groups:
+        One packed state mask per distinct excitation signature; the core is
+        resolved when every pair of states drawn from two different groups
+        has been given distinct codes.
+    signatures:
+        The packed excitation signature of each group (parallel to
+        ``groups``), kept for diagnostics.
+    """
+
+    __slots__ = ("code_word", "states_mask", "groups", "signatures")
+
+    def __init__(
+        self,
+        code_word: int,
+        states_mask: int,
+        groups: List[int],
+        signatures: List[int],
+    ) -> None:
+        self.code_word = code_word
+        self.states_mask = states_mask
+        self.groups = groups
+        self.signatures = signatures
+
+    @property
+    def num_states(self) -> int:
+        return popcount(self.states_mask)
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of conflicting state pairs (across different groups)."""
+        sizes = [popcount(group) for group in self.groups]
+        total = sum(sizes)
+        return (total * total - sum(size * size for size in sizes)) // 2
+
+    def __repr__(self) -> str:
+        return "ConflictCore(code=%#x, states=%d, groups=%d)" % (
+            self.code_word,
+            self.num_states,
+            len(self.groups),
+        )
+
+
+def conflict_cores(graph: StateGraph) -> List[ConflictCore]:
+    """Group the CSC conflicts of a graph into cores, sorted by code word.
+
+    A core is emitted for every code word whose states fall into at least
+    two excitation-signature classes; CSC holds iff no cores exist.
+    """
+    implementable_mask = graph.signal_table.mask_of(graph.stg.implementable_signals)
+    plus = graph._excited_plus
+    minus = graph._excited_minus
+
+    by_code: Dict[int, List[int]] = {}
+    for state, code in enumerate(graph.packed_codes):
+        by_code.setdefault(code, []).append(state)
+
+    cores: List[ConflictCore] = []
+    for code_word in sorted(by_code):
+        states = by_code[code_word]
+        if len(states) < 2:
+            continue
+        by_signature: Dict[int, int] = {}
+        states_mask = 0
+        for state in states:
+            signature = (plus[state] | minus[state]) & implementable_mask
+            by_signature[signature] = by_signature.get(signature, 0) | (1 << state)
+            states_mask |= 1 << state
+        if len(by_signature) < 2:
+            continue
+        signatures = sorted(by_signature)
+        cores.append(
+            ConflictCore(
+                code_word,
+                states_mask,
+                [by_signature[s] for s in signatures],
+                signatures,
+            )
+        )
+    return cores
+
+
+def num_conflict_pairs(cores: List[ConflictCore]) -> int:
+    """Total number of conflicting state pairs across all cores."""
+    return sum(core.num_pairs for core in cores)
+
+
+def separation_gain(core: ConflictCore, mask_on: int) -> int:
+    """Conflicting pairs of a core separated by an insertion region.
+
+    ``mask_on`` is the packed state mask where the candidate signal holds 1;
+    a pair is separated when exactly one of its states lies inside.  Only
+    pairs drawn from different signature groups count -- separating two
+    states that already imply the same behaviour buys nothing.
+    """
+    inside = [popcount(group & mask_on) for group in core.groups]
+    outside = [popcount(group & ~mask_on) for group in core.groups]
+    total_in = sum(inside)
+    total_out = sum(outside)
+    gain = 0
+    for group_in, group_out in zip(inside, outside):
+        gain += group_in * (total_out - group_out)
+    return gain

@@ -1,0 +1,145 @@
+"""Signal insertion: STG rewriting and greedy region selection.
+
+``apply_insertion`` rewrites an STG with one new internal signal whose
+rising transition is spliced after ``region.t_on`` and falling transition
+after ``region.t_off``.  Splicing after ``t`` is the classic event-boundary
+transformation::
+
+        t -> p1 -> u                 t -> <t,x+> -> x+ -> p1 -> u
+        t -> p2 -> v      ==>                      x+ -> p2 -> v
+
+i.e. the new transition takes over every postset place of ``t`` and a fresh
+implicit place sequences it behind ``t``.  The transformation only *delays*
+the causal successors of ``t`` (it can never disable an enabled transition),
+keeps safe nets safe (the new place has one producer and one consumer), and
+keeps the rewritten graph on the packed State Graph engine.
+
+``choose_insertion`` ranks candidate regions greedily: most conflicting
+pairs separated first, then the estimated logic cost of the new signal
+(literal count of its minimised on/off covers on the current State Graph),
+then lexicographic name order so runs are reproducible; a seeded RNG can
+shuffle equal-cost ties.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..boolean import Cover, espresso
+from ..stategraph import StateGraph, dc_set_cover, states_to_cover
+from ..stg import STG
+from ..stg.signals import SignalType
+from .conflicts import ConflictCore, separation_gain
+from .regions import InsertionRegion
+
+__all__ = ["apply_insertion", "choose_insertion", "estimate_cost", "fresh_signal_name"]
+
+
+def fresh_signal_name(stg: STG, prefix: str = "csc") -> str:
+    """First ``csc<k>`` name not already declared in the STG."""
+    existing = set(stg.signals)
+    index = 0
+    while "%s%d" % (prefix, index) in existing:
+        index += 1
+    return "%s%d" % (prefix, index)
+
+
+def estimate_cost(
+    graph: StateGraph, region: InsertionRegion, dc: Optional[Cover] = None
+) -> int:
+    """Estimated literal cost of implementing the new signal.
+
+    The on-set (off-set) of the signal over the *existing* states is its
+    insertion region (complement); the cost estimate is the literal count of
+    both covers after minimisation against the unreachable-code don't-cares
+    (``dc``, computed from the graph when not supplied -- pass it in when
+    ranking many candidates of the same graph).  The new signal itself is
+    not in the code space yet, so this is a lower bound -- good enough to
+    rank otherwise-equal candidates.
+    """
+    mask = region.mask_on
+    on_states = [s for s in range(graph.num_states) if (mask >> s) & 1]
+    off_states = [s for s in range(graph.num_states) if not (mask >> s) & 1]
+    if dc is None:
+        dc = dc_set_cover(graph)
+    cost = 0
+    for states in (on_states, off_states):
+        cover = states_to_cover(graph, states)
+        cost += espresso(cover, dc).cover.literal_count
+    return cost
+
+
+def choose_insertion(
+    graph: StateGraph,
+    cores: List[ConflictCore],
+    regions: List[InsertionRegion],
+    rng: Optional[random.Random] = None,
+) -> List[Tuple[int, InsertionRegion]]:
+    """Rank candidate regions for one insertion round.
+
+    Returns ``(gain, region)`` pairs with positive gain, best first.  The
+    logic-cost estimate is only computed for the candidates tied on the
+    maximal gain (it needs two espresso runs per candidate).  Both sorts
+    are stable, so candidates tied on ``(gain, cost)`` keep the order the
+    optional seeded ``rng`` shuffled them into -- that is exactly where the
+    seed breaks ties; without an rng the deterministic
+    :func:`~repro.encoding.regions.candidate_regions` name order holds.
+    """
+    scored: List[Tuple[int, InsertionRegion]] = []
+    for region in regions:
+        gain = sum(separation_gain(core, region.mask_on) for core in cores)
+        if gain > 0:
+            scored.append((gain, region))
+    if not scored:
+        return []
+    if rng is not None:
+        rng.shuffle(scored)
+    scored.sort(key=lambda item: -item[0])
+    best_gain = scored[0][0]
+    head = [item for item in scored if item[0] == best_gain]
+    tail = [item for item in scored if item[0] != best_gain]
+    if len(head) > 1:
+        dc = dc_set_cover(graph)
+        head.sort(key=lambda item: estimate_cost(graph, item[1], dc))
+    return head + tail
+
+
+def apply_insertion(stg: STG, region: InsertionRegion, signal: str) -> STG:
+    """Rewrite the STG with one new internal signal for a region.
+
+    The rewritten STG declares ``signal`` as :class:`SignalType.INTERNAL`
+    with the region's initial value and splices ``signal+`` after
+    ``region.t_on`` and ``signal-`` after ``region.t_off``.
+    """
+    if signal in stg.signals:
+        raise ValueError("signal %r already declared in %r" % (signal, stg.name))
+    net = stg.net
+    spliced = {region.t_on: signal + "+", region.t_off: signal + "-"}
+
+    result = STG(stg.name)
+    for name, signal_type in stg.signal_types.items():
+        result.add_signal(name, signal_type)
+    for name, value in stg.initial_values.items():
+        result.set_initial_value(name, value)
+    result.add_signal(signal, SignalType.INTERNAL, initial=region.initial_value)
+
+    for transition in stg.transitions:
+        result.add_transition(stg.label_of(transition), name=transition)
+    for new_label in spliced.values():
+        result.add_transition(new_label, name=new_label)
+
+    initial = net.initial_marking
+    for place in stg.places:
+        result.add_place(place, initial[place])
+
+    for transition in stg.transitions:
+        takeover = spliced.get(transition)
+        for place, weight in net.preset(transition).items():
+            result.net.add_arc(place, transition, weight)
+        for place, weight in net.postset(transition).items():
+            # The spliced transition takes over the original postset.
+            result.net.add_arc(takeover or transition, place, weight)
+        if takeover is not None:
+            result.connect(transition, takeover)
+    return result

@@ -1,0 +1,203 @@
+"""Candidate insertion regions for new internal state signals.
+
+A new state signal ``x`` is inserted on *event boundaries*: its rising
+transition is spliced immediately after an existing transition ``t_on`` and
+its falling transition immediately after ``t_off`` (see
+:mod:`repro.encoding.insertion`).  The value of ``x`` in every *existing*
+state of the State Graph is then fully determined: 1 in the states reached
+after ``t_on`` fired more recently than ``t_off``, 0 in the opposite phase.
+That state set -- stored as one packed mask over state indices -- is the
+candidate's **insertion region**, and it is exactly what conflict scoring
+(:func:`repro.encoding.conflicts.separation_gain`) and logic-cost estimation
+consume.
+
+A candidate is emitted only when it preserves speed independence:
+
+* **Phase consistency** (well-formed borders): ``t_on`` / ``t_off`` must
+  strictly alternate along *every* firing sequence, otherwise ``x`` would
+  need two values in one state.  This is decided exactly with a union-find
+  over the State Graph: every edge not labelled ``t_on``/``t_off`` equates
+  the phase of its endpoints, every ``t_on`` edge forces source phase 0 and
+  target phase 1 (dually for ``t_off``); a contradiction rejects the pair.
+  Concurrency between ``t_on`` and ``t_off`` always shows up as such a
+  contradiction (the two interleavings reach one state in both phases).
+* **Input-burst preservation**: splicing ``x+`` after ``t_on``
+  sequentialises every structural successor of ``t_on`` behind the new
+  transition.  Delaying an *input* transition would change the interface
+  offered to the environment (the environment cannot observe ``x``), so
+  transitions whose postset feeds an input transition are not legal splice
+  points.  Outputs and internal signals are merely delayed -- an enabled
+  output is never *disabled*, so output persistency is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..stategraph import StateGraph
+from ..stg import STG
+from ..stg.signals import SignalType
+
+__all__ = ["InsertionRegion", "legal_splice_points", "candidate_regions"]
+
+
+class InsertionRegion:
+    """One legal ``(t_on, t_off)`` splice pair with its packed state region.
+
+    Attributes
+    ----------
+    t_on / t_off:
+        Net transition names after which the new signal's rising / falling
+        transition is spliced.
+    mask_on:
+        Packed mask over state indices: bit ``s`` is 1 when the new signal
+        holds 1 in state ``s`` of the *current* State Graph.
+    initial_value:
+        Value of the new signal in the initial state (bit 0 of
+        ``mask_on``).
+    """
+
+    __slots__ = ("t_on", "t_off", "mask_on")
+
+    def __init__(self, t_on: str, t_off: str, mask_on: int) -> None:
+        self.t_on = t_on
+        self.t_off = t_off
+        self.mask_on = mask_on
+
+    @property
+    def initial_value(self) -> int:
+        return self.mask_on & 1
+
+    def __repr__(self) -> str:
+        return "InsertionRegion(on=%r, off=%r, initial=%d)" % (
+            self.t_on,
+            self.t_off,
+            self.initial_value,
+        )
+
+
+def legal_splice_points(stg: STG) -> List[str]:
+    """Transitions after which an internal transition may be spliced.
+
+    Splicing after ``t`` delays every transition consuming a postset place
+    of ``t``; that is legal only when none of those consumers is an input
+    transition (input-burst preservation -- the environment cannot wait for
+    a signal it cannot observe).
+    """
+    legal: List[str] = []
+    net = stg.net
+    for transition in stg.transitions:
+        ok = True
+        for place in net.postset(transition):
+            for consumer in net.place_postset(place):
+                label = stg.label_of(consumer)
+                if label is not None and stg.signal_type(label.signal) is SignalType.INPUT:
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            legal.append(transition)
+    return legal
+
+
+class _PhaseUnionFind:
+    """Union-find over states with an optional forced phase per class."""
+
+    __slots__ = ("parent", "phase")
+
+    def __init__(self, num_states: int) -> None:
+        self.parent = list(range(num_states))
+        self.phase: List[Optional[int]] = [None] * num_states
+
+    def find(self, state: int) -> int:
+        parent = self.parent
+        root = state
+        while parent[root] != root:
+            root = parent[root]
+        while parent[state] != root:
+            parent[state], state = root, parent[state]
+        return root
+
+    def union(self, left: int, right: int) -> bool:
+        left, right = self.find(left), self.find(right)
+        if left == right:
+            return True
+        left_phase, right_phase = self.phase[left], self.phase[right]
+        if left_phase is not None and right_phase is not None and left_phase != right_phase:
+            return False
+        self.parent[right] = left
+        if left_phase is None:
+            self.phase[left] = right_phase
+        return True
+
+    def force(self, state: int, value: int) -> bool:
+        root = self.find(state)
+        if self.phase[root] is None:
+            self.phase[root] = value
+            return True
+        return self.phase[root] == value
+
+
+def _phase_mask(
+    graph: StateGraph, t_on: str, t_off: str
+) -> Optional[int]:
+    """Packed mask of states in phase 1, or ``None`` if the pair is illegal."""
+    uf = _PhaseUnionFind(graph.num_states)
+    on_edges: List[Tuple[int, int]] = []
+    off_edges: List[Tuple[int, int]] = []
+    for source, transition, target in graph.edges:
+        if transition == t_on:
+            on_edges.append((source, target))
+        elif transition == t_off:
+            off_edges.append((source, target))
+        else:
+            # No phase is forced yet, so unions cannot contradict here;
+            # every contradiction surfaces in the force() passes below.
+            uf.union(source, target)
+    if not on_edges or not off_edges:
+        return None  # a dead splice transition cannot toggle the signal
+    for source, target in on_edges:
+        if not (uf.force(source, 0) and uf.force(target, 1)):
+            return None
+    for source, target in off_edges:
+        if not (uf.force(source, 1) and uf.force(target, 0)):
+            return None
+    mask = 0
+    for state in range(graph.num_states):
+        value = uf.phase[uf.find(state)]
+        if value is None:
+            # The phase never propagates here only if the graph is
+            # disconnected from every t_on/t_off edge -- not a usable region.
+            return None
+        mask |= value << state
+    return mask
+
+
+def candidate_regions(
+    graph: StateGraph, splice_points: Optional[List[str]] = None
+) -> List[InsertionRegion]:
+    """Enumerate every legal insertion region of a State Graph.
+
+    Candidates are ordered deterministically (by ``(t_on, t_off)`` name);
+    the caller scores them against the conflict cores and picks greedily.
+    """
+    if splice_points is None:
+        splice_points = legal_splice_points(graph.stg)
+    # Only transitions that actually fire somewhere can toggle the signal.
+    fired: Set[str] = {transition for _s, transition, _t in graph.edges}
+    points = sorted(point for point in splice_points if point in fired)
+    full = (1 << graph.num_states) - 1
+    regions: List[InsertionRegion] = []
+    for i, t_on in enumerate(points):
+        for t_off in points[i + 1:]:
+            mask = _phase_mask(graph, t_on, t_off)
+            if mask is None:
+                continue
+            # The swapped pair carries the complementary region for free.
+            if mask:
+                regions.append(InsertionRegion(t_on, t_off, mask))
+            if full & ~mask:
+                regions.append(InsertionRegion(t_off, t_on, full & ~mask))
+    regions.sort(key=lambda region: (region.t_on, region.t_off))
+    return regions

@@ -71,6 +71,7 @@ def _table1_row_task(args: Dict[str, object]) -> Dict[str, object]:
         conformance=args["conformance"],
         conformance_max_states=args["conformance_max_states"],
         timeout=args["timeout"],
+        resolve_encoding=args.get("resolve_encoding", False),
     )
     return dict(rows[0])
 
@@ -186,11 +187,14 @@ def run_table1_batch(
     max_states: Optional[int] = 200000,
     conformance: bool = True,
     conformance_max_states: Optional[int] = 100000,
+    resolve_encoding: bool = False,
 ) -> List[Dict[str, object]]:
     """Run Table 1 rows in parallel, one benchmark per worker process.
 
     Returns the same merged rows as the serial :func:`run_table1` (plus the
-    aggregate ``outcome`` column), in suite order.
+    aggregate ``outcome`` column), in suite order; ``resolve_encoding``
+    threads the CSC-resolution pass (and its ``csc_signals_added`` /
+    ``csc_resolved`` columns) into every worker.
     """
     if names is None:
         names = [entry.name for entry in table1_suite()]
@@ -202,6 +206,7 @@ def run_table1_batch(
             "conformance": conformance,
             "conformance_max_states": conformance_max_states,
             "timeout": task_timeout,
+            "resolve_encoding": resolve_encoding,
         }
         for name in names
     ]

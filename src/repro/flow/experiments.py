@@ -38,38 +38,35 @@ class Table1Row(dict):
     """One row of the Table 1 reproduction (a dict with fixed keys)."""
 
 
-def _synthesize_timed(
-    stg, method: str, max_states: Optional[int], timeout: Optional[float]
-) -> Tuple[Optional[object], float, str]:
-    """Run one synthesis under an optional wall-clock budget.
+def _run_timed(task, timeout: Optional[float]) -> Tuple[Optional[object], float, str]:
+    """Run a zero-argument task under an optional wall-clock budget.
 
-    Returns ``(result, elapsed, outcome)`` with outcome ``"ok"``,
-    ``"error"`` or ``"timeout"``; ``result`` is ``None`` unless ``"ok"``.
+    Returns ``(value, elapsed, outcome)`` with outcome ``"ok"``,
+    ``"error"`` or ``"timeout"``; ``value`` is ``None`` unless ``"ok"``.
 
-    The budget is enforced by running the synthesis in a daemon worker
-    thread and abandoning it when the deadline passes -- the thread cannot
-    be killed, so an over-budget synthesis may keep burning CPU (and skew
-    the wall-clock of later methods in the same row) until it finishes on
-    its own.  The worker therefore synthesises a private copy of the STG,
-    so an abandoned thread can never race later methods on shared
-    specification state.  The batch runner (:mod:`repro.flow.batch`) wraps
+    The budget is enforced by running the task in a daemon worker thread
+    and abandoning it when the deadline passes -- the thread cannot be
+    killed, so an over-budget task may keep burning CPU (and skew the
+    wall-clock of later tasks in the same row) until it finishes on its
+    own.  Callers therefore hand the task a private copy of any shared
+    state (see :func:`_synthesize_timed`), so an abandoned thread can never
+    race later work.  The batch runner (:mod:`repro.flow.batch`) wraps
     whole rows in worker *processes*, where a timeout genuinely frees the
     core.
     """
     if timeout is None:
         start = time.perf_counter()
         try:
-            result = synthesize(stg, method=method, max_states=max_states)
+            value = task()
         except Exception:
             return None, time.perf_counter() - start, "error"
-        return result, time.perf_counter() - start, "ok"
+        return value, time.perf_counter() - start, "ok"
 
     box: Dict[str, object] = {}
-    private_stg = stg.copy()
 
     def worker() -> None:
         try:
-            box["result"] = synthesize(private_stg, method=method, max_states=max_states)
+            box["value"] = task()
         except Exception as exc:
             box["error"] = exc
 
@@ -82,7 +79,31 @@ def _synthesize_timed(
         return None, elapsed, "timeout"
     if "error" in box:
         return None, elapsed, "error"
-    return box["result"], elapsed, "ok"
+    return box["value"], elapsed, "ok"
+
+
+def _synthesize_timed(
+    stg, method: str, max_states: Optional[int], timeout: Optional[float]
+) -> Tuple[Optional[object], float, str]:
+    """Run one synthesis under an optional wall-clock budget."""
+    work_stg = stg if timeout is None else stg.copy()
+    return _run_timed(
+        lambda: synthesize(work_stg, method=method, max_states=max_states), timeout
+    )
+
+
+def _resolve_timed(
+    stg, max_states: Optional[int], timeout: Optional[float]
+) -> Tuple[Optional[object], float, str]:
+    """Run one CSC resolution under the same wall-clock regime as synthesis.
+
+    The resolution is shared by every method of a Table 1 row (it is
+    deterministic, so re-running it per method would only burn time).
+    """
+    from ..encoding import resolve_csc
+
+    work_stg = stg if timeout is None else stg.copy()
+    return _run_timed(lambda: resolve_csc(work_stg, max_states=max_states), timeout)
 
 
 def run_table1(
@@ -92,6 +113,7 @@ def run_table1(
     conformance: bool = True,
     conformance_max_states: Optional[int] = 100000,
     timeout: Optional[float] = None,
+    resolve_encoding: bool = False,
 ) -> List[Table1Row]:
     """Reproduce Table 1 on the benchmark suite.
 
@@ -110,6 +132,18 @@ def run_table1(
     exceeds it is recorded with outcome ``"timeout"`` (distinct from
     ``"error"``) in the row's ``<method>_outcome`` column and ``None``
     totals.
+
+    With ``resolve_encoding`` each row first runs one shared CSC resolution
+    pass (:func:`repro.encoding.resolve_csc`; it is deterministic, so it is
+    not repeated per method) and every method -- plus the conformance
+    simulation -- works on the rewritten specification.  The row reports
+    ``csc_signals_added`` (internal signals inserted, 0 for CSC-clean
+    specifications), ``csc_resolved`` (whether the synthesised circuit is
+    conflict-free) and ``csc_outcome`` (``ok``/``error``/``timeout`` of the
+    resolution pass, which counts towards the row's aggregate outcome).
+    Without it the columns are still present: ``csc_signals_added`` is 0 and
+    ``csc_resolved`` reports whether the specification needed no encoding
+    work.
     """
     if entries is None:
         entries = table1_suite()
@@ -123,10 +157,28 @@ def run_table1(
             paper_literals=entry.paper_literals,
             paper_total_time=entry.paper_total_time,
         )
+        # One shared resolution pass per row: the pass is deterministic, so
+        # every method synthesises the same rewritten specification (and the
+        # conformance simulation runs against it too).
+        encoding = None
+        method_stg = stg
+        if resolve_encoding:
+            encoding, _elapsed, resolve_outcome = _resolve_timed(
+                stg, max_states, timeout
+            )
+            row["csc_outcome"] = resolve_outcome
+            if encoding is not None and encoding.inserted:
+                method_stg = encoding.stg
+        row["csc_signals_added"] = (
+            encoding.num_inserted if encoding is not None else 0
+        )
+
         simulated: Optional[object] = None
         simulated_method: Optional[str] = None
         for method in methods:
-            result, elapsed, outcome = _synthesize_timed(stg, method, max_states, timeout)
+            result, elapsed, outcome = _synthesize_timed(
+                method_stg, method, max_states, timeout
+            )
             prefix = method
             row["%s_outcome" % prefix] = outcome
             if result is None:
@@ -138,6 +190,9 @@ def run_table1(
             ):
                 simulated = result.implementation
                 simulated_method = method
+                row["csc_resolved"] = result.csc_resolved
+            if "csc_resolved" not in row:
+                row["csc_resolved"] = result.csc_resolved
             if method == "unfolding-approx":
                 row["UnfTim"] = round(result.unfold_time, 4)
                 row["SynTim"] = round(result.cover_time, 4)
@@ -146,6 +201,9 @@ def run_table1(
                 row["LitCnt"] = result.literal_count
             row["%s_total" % prefix] = round(result.total_time, 4)
             row["%s_literals" % prefix] = result.literal_count
+        if "csc_resolved" not in row:
+            # Every method failed: fall back to the resolution pass verdict.
+            row["csc_resolved"] = encoding.resolved if encoding is not None else False
         if conformance:
             if simulated is None:
                 row["Conf"] = None
@@ -153,7 +211,7 @@ def run_table1(
                 row["Conf_method"] = simulated_method
                 try:
                     exploration = simulate_implementation(
-                        stg, simulated, max_states=conformance_max_states
+                        method_stg, simulated, max_states=conformance_max_states
                     )
                     row["Conf"] = exploration.verdict()
                     row["sim_states"] = exploration.num_states

@@ -56,7 +56,12 @@ class CSCReport:
 
 
 def check_usc(graph: StateGraph) -> CSCReport:
-    """Check Unique State Coding: every reachable marking has a unique code."""
+    """Check Unique State Coding: every reachable marking has a unique code.
+
+    Conflict pairs are reported sorted (``(low, high)`` per pair, pairs in
+    lexicographic order) so reports are deterministic and directly
+    comparable across state-graph engines.
+    """
     by_code: Dict[int, List[int]] = {}
     for state, code in enumerate(graph.packed_codes):
         by_code.setdefault(code, []).append(state)
@@ -65,6 +70,7 @@ def check_usc(graph: StateGraph) -> CSCReport:
         for i in range(len(states)):
             for j in range(i + 1, len(states)):
                 conflicts.append((states[i], states[j]))
+    conflicts.sort()
     return CSCReport(not conflicts, conflicts, "USC")
 
 
@@ -78,6 +84,7 @@ def check_csc(graph: StateGraph) -> CSCReport:
     States are bucketed by packed code, and the excitation signature of a
     state is its ``(excited_plus | excited_minus)`` bitmask restricted to
     implementable signals -- an int comparison instead of set algebra.
+    Conflict pairs are reported sorted, like :func:`check_usc`.
     """
     implementable_mask = graph.signal_table.mask_of(graph.stg.implementable_signals)
     by_code: Dict[int, List[int]] = {}
@@ -97,6 +104,7 @@ def check_csc(graph: StateGraph) -> CSCReport:
             for j in range(i + 1, len(states)):
                 if signatures[i] != signatures[j]:
                     conflicts.append((states[i], states[j]))
+    conflicts.sort()
     return CSCReport(not conflicts, conflicts, "CSC")
 
 

@@ -8,12 +8,14 @@ from .consistency import ConsistencyReport, check_consistency
 from .generators import (
     choice_controller,
     counterflow_pipeline,
+    csc_arbiter,
     csc_conflict_example,
     figure4_example,
     muller_pipeline,
     paper_example,
     parallel_handshake,
     sequential_controller,
+    vme_bus_controller,
 )
 from .benchmarks import BenchmarkEntry, benchmark_by_name, example_suite, table1_suite
 
@@ -33,12 +35,14 @@ __all__ = [
     "check_consistency",
     "choice_controller",
     "counterflow_pipeline",
+    "csc_arbiter",
     "csc_conflict_example",
     "figure4_example",
     "muller_pipeline",
     "paper_example",
     "parallel_handshake",
     "sequential_controller",
+    "vme_bus_controller",
     "BenchmarkEntry",
     "benchmark_by_name",
     "example_suite",

@@ -19,10 +19,13 @@ from typing import Callable, Dict, Iterable, List, Optional
 
 from .generators import (
     choice_controller,
+    csc_arbiter,
+    csc_conflict_example,
     parallel_handshake,
     paper_example,
     figure4_example,
     sequential_controller,
+    vme_bus_controller,
 )
 from .stg import STG
 
@@ -48,6 +51,9 @@ class BenchmarkEntry:
         (the "LitCnt" column), used by EXPERIMENTS.md comparisons.
     paper_total_time:
         Total synthesis time (seconds) reported by the paper ("TotTim").
+    csc_clean:
+        False for specifications with CSC conflicts, which need the
+        ``repro.encoding`` resolution pass before direct synthesis.
     """
 
     def __init__(
@@ -59,6 +65,7 @@ class BenchmarkEntry:
         paper_literals: Optional[int] = None,
         paper_total_time: Optional[float] = None,
         description: str = "",
+        csc_clean: bool = True,
     ) -> None:
         self.name = name
         self.expected_signals = expected_signals
@@ -67,6 +74,7 @@ class BenchmarkEntry:
         self.paper_literals = paper_literals
         self.paper_total_time = paper_total_time
         self.description = description
+        self.csc_clean = csc_clean
 
     def build(self) -> STG:
         """Instantiate the benchmark STG."""
@@ -168,6 +176,38 @@ def example_suite() -> List[BenchmarkEntry]:
             choice_controller,
             synthetic=False,
             description="input-choice controller (non-marked-graph)",
+        ),
+        BenchmarkEntry(
+            "csc_conflict",
+            3,
+            csc_conflict_example,
+            synthetic=False,
+            description="smallest CSC-conflicting STG (needs one state signal)",
+            csc_clean=False,
+        ),
+        BenchmarkEntry(
+            "vme_read",
+            5,
+            vme_bus_controller,
+            synthetic=False,
+            description="VME-bus read-cycle controller (classic CSC conflict)",
+            csc_clean=False,
+        ),
+        BenchmarkEntry(
+            "csc_arbiter_4",
+            5,
+            lambda: csc_arbiter(4),
+            synthetic=False,
+            description="4-client round-robin arbiter (4-way CSC conflict core)",
+            csc_clean=False,
+        ),
+        BenchmarkEntry(
+            "csc_arbiter_8",
+            9,
+            lambda: csc_arbiter(8),
+            synthetic=False,
+            description="8-client round-robin arbiter (8-way CSC conflict core)",
+            csc_clean=False,
         ),
     ]
 

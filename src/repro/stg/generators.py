@@ -33,6 +33,8 @@ __all__ = [
     "sequential_controller",
     "choice_controller",
     "csc_conflict_example",
+    "vme_bus_controller",
+    "csc_arbiter",
 ]
 
 
@@ -391,4 +393,104 @@ def csc_conflict_example(name: str = "csc_conflict") -> STG:
     stg.connect(a_minus_2, y_minus)
     marked = stg.connect(y_minus, a_plus_1)
     stg.set_marking([marked])
+    return stg
+
+
+def vme_bus_controller(name: str = "vme_read") -> STG:
+    """The VME-bus read-cycle controller, the textbook CSC-conflict example.
+
+    Inputs ``dsr`` (data send request) and ``ldtack`` (latch acknowledge);
+    outputs ``lds`` (latch data strobe), ``d`` (device ready) and ``dtack``
+    (data acknowledge).  The read cycle is::
+
+        dsr+ lds+ ldtack+ d+ dtack+ dsr- d- {dtack- dsr+ || lds- ldtack-}
+
+    with the next ``lds+`` waiting for both the new ``dsr+`` and the
+    cross-cycle ``ldtack-``.  Because the reset of ``lds``/``ldtack`` runs
+    concurrently with the next request, the binary code
+    ``(dsr, ldtack, d, lds, dtack) = 11010`` is reached twice -- once in the
+    forward phase exciting ``d+`` and once in the reset phase exciting
+    ``lds-`` -- a CSC conflict that requires one inserted state signal
+    (``repro.encoding.resolve_csc``) before the controller can be
+    synthesised.
+    """
+    stg = STG(name)
+    stg.add_signal("dsr", SignalType.INPUT, initial=0)
+    stg.add_signal("ldtack", SignalType.INPUT, initial=0)
+    stg.add_signal("d", SignalType.OUTPUT, initial=0)
+    stg.add_signal("lds", SignalType.OUTPUT, initial=0)
+    stg.add_signal("dtack", SignalType.OUTPUT, initial=0)
+
+    labels = [
+        "dsr+", "dsr-", "ldtack+", "ldtack-", "d+", "d-",
+        "lds+", "lds-", "dtack+", "dtack-",
+    ]
+    t = {label: stg.add_transition(label) for label in labels}
+
+    marked: List[str] = []
+
+    def link(source: str, target: str, token: bool = False) -> None:
+        place = stg.connect(t[source], t[target])
+        if token:
+            marked.append(place)
+
+    link("dsr+", "lds+")
+    link("lds+", "ldtack+")
+    link("ldtack+", "d+")
+    link("d+", "dtack+")
+    link("dtack+", "dsr-")
+    link("dsr-", "d-")
+    link("d-", "dtack-")
+    link("d-", "lds-")
+    link("lds-", "ldtack-")
+    link("ldtack-", "lds+", token=True)  # cross-cycle: lds+ waits for ldtack-
+    link("dtack-", "dsr+", token=True)
+    stg.set_marking(marked)
+    return stg
+
+
+def csc_arbiter(clients: int, name: Optional[str] = None) -> STG:
+    """A round-robin arbiter family without Complete State Coding.
+
+    One request input ``req`` and ``clients`` grant outputs ``g0 .. gN-1``;
+    the controller answers the ``i``-th request cycle with grant ``i``::
+
+        req+ g0+ req- g0-  req+ g1+ req- g1-  ...  req+ gN-1+ req- gN-1-
+
+    Every "request pending" state carries the same binary code (``req=1``,
+    all grants 0) while exciting a *different* grant output, so the family
+    has an ``N``-way CSC conflict core.  Resolving it with signals inserted
+    on event boundaries (one rising and one falling transition each, see
+    :func:`repro.encoding.resolve_csc`) takes at least ``ceil(N / 2)`` state
+    signals: each inserted signal is 1 on one contiguous arc of the grant
+    cycle, and ``k`` arcs bounded by ``2k`` transitions can tell at most
+    ``2k`` round-robin phases apart.  The greedy resolver may exceed the
+    bound (measured: ``N=4`` resolves with 2 signals, ``N=8`` with 6).
+    States and transitions grow linearly with ``clients``.
+    """
+    if clients < 2:
+        raise STGError("a csc_arbiter needs at least two clients")
+    stg = STG(name or ("csc_arbiter_%d" % clients))
+    stg.add_signal("req", SignalType.INPUT, initial=0)
+    for i in range(clients):
+        stg.add_signal("g%d" % i, SignalType.OUTPUT, initial=0)
+
+    marked: List[str] = []
+    previous: Optional[str] = None
+    first: Optional[str] = None
+    for i in range(clients):
+        req_plus = stg.add_transition("req+")
+        grant_plus = stg.add_transition("g%d+" % i)
+        req_minus = stg.add_transition("req-")
+        grant_minus = stg.add_transition("g%d-" % i)
+        stg.connect(req_plus, grant_plus)
+        stg.connect(grant_plus, req_minus)
+        stg.connect(req_minus, grant_minus)
+        if previous is not None:
+            stg.connect(previous, req_plus)
+        else:
+            first = req_plus
+        previous = grant_minus
+    marked.append(stg.connect(previous, first))
+    stg.set_marking(marked)
     return stg

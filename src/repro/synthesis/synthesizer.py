@@ -50,6 +50,10 @@ class SynthesisResult:
         segment events (unfolding methods) -- a size indicator for reports.
     details:
         The method-specific result object (kept for ablation studies).
+    encoding:
+        The :class:`~repro.encoding.resolve.EncodingResult` of the CSC
+        resolution pass, when ``resolve_encoding`` was requested and
+        conflicts were found (``None`` otherwise).
     """
 
     def __init__(
@@ -61,6 +65,7 @@ class SynthesisResult:
         minimize_time: float,
         num_states: int,
         details: object,
+        encoding: object = None,
     ) -> None:
         self.method = method
         self.implementation = implementation
@@ -69,6 +74,17 @@ class SynthesisResult:
         self.minimize_time = minimize_time
         self.num_states = num_states
         self.details = details
+        self.encoding = encoding
+
+    @property
+    def csc_signals_added(self) -> int:
+        """Internal signals inserted by the encoding pass (0 when off/clean)."""
+        return self.encoding.num_inserted if self.encoding is not None else 0
+
+    @property
+    def csc_resolved(self) -> bool:
+        """True when the synthesised circuit is free of CSC conflicts."""
+        return not self.implementation.has_csc_conflict
 
     @property
     def total_time(self) -> float:
@@ -102,6 +118,8 @@ def synthesize(
     raise_on_csc: bool = False,
     max_states: Optional[int] = None,
     packed: Optional[bool] = None,
+    resolve_encoding: bool = False,
+    max_csc_signals: int = 3,
 ) -> SynthesisResult:
     """Synthesise a speed-independent implementation of an STG.
 
@@ -110,10 +128,41 @@ def synthesize(
     can report "did not finish" instead of running out of memory.
     ``packed`` forces/forbids the packed state-graph engine of the SG
     methods (ignored by the unfolding methods, which never build the SG).
+
+    With ``resolve_encoding`` the specification's CSC conflicts are first
+    resolved by inserting up to ``max_csc_signals`` internal state signals
+    (:func:`repro.encoding.resolve_csc`); synthesis then runs on the
+    rewritten STG, whose inserted signals are implemented like any other
+    internal signal.  The result's ``encoding`` attribute carries the
+    resolution report and ``csc_signals_added`` / ``csc_resolved`` summarise
+    it.  Specifications already satisfying CSC pass through untouched.
     """
     if method not in METHODS:
         raise ValueError("unknown synthesis method %r (choose from %s)" % (method, METHODS))
 
+    encoding = None
+    if resolve_encoding:
+        from ..encoding import resolve_csc
+
+        encoding = resolve_csc(stg, max_signals=max_csc_signals, max_states=max_states)
+        if encoding.inserted:
+            stg = encoding.stg
+        elif encoding.resolved:
+            encoding = None  # already CSC-clean: nothing to report
+
+    result = _dispatch(stg, method, architecture, raise_on_csc, max_states, packed)
+    result.encoding = encoding
+    return result
+
+
+def _dispatch(
+    stg: STG,
+    method: str,
+    architecture: str,
+    raise_on_csc: bool,
+    max_states: Optional[int],
+    packed: Optional[bool],
+) -> SynthesisResult:
     if method == "unfolding-approx":
         result = synthesize_approx_from_unfolding(
             stg, architecture=architecture, raise_on_csc=raise_on_csc

@@ -49,6 +49,22 @@ def test_batch_single_job_matches_multi_job():
     assert [_stable(row) for row in one] == [_stable(row) for row in two]
 
 
+def test_batch_resolve_encoding_columns():
+    rows = run_table1_batch(
+        names=["vme_read", "sendr-done"],
+        methods=("unfolding-approx",),
+        jobs=2,
+        resolve_encoding=True,
+    )
+    vme, clean = rows
+    assert vme["outcome"] == "ok"
+    assert vme["csc_signals_added"] == 1
+    assert vme["csc_resolved"] is True
+    assert vme["Conf"] == "ok"
+    assert clean["csc_signals_added"] == 0
+    assert clean["csc_resolved"] is True
+
+
 def test_figure6_batch_rows():
     rows = run_figure6_batch(stage_counts=(1, 2), methods=METHODS, jobs=2)
     assert [row["stages"] for row in rows] == [1, 2]

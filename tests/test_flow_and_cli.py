@@ -104,3 +104,79 @@ def test_cli_figure6(capsys):
 def test_cli_unknown_benchmark():
     with pytest.raises(SystemExit):
         main(["synth", "no-such-benchmark"])
+
+
+def test_run_table1_resolve_encoding_columns():
+    entries = [benchmark_by_name(name) for name in ("sendr-done", "vme_read")]
+    rows = run_table1(
+        entries=entries,
+        methods=("unfolding-approx",),
+        resolve_encoding=True,
+    )
+    clean, vme = rows
+    assert clean["csc_signals_added"] == 0
+    assert clean["csc_resolved"] is True
+    assert vme["csc_signals_added"] == 1
+    assert vme["csc_resolved"] is True
+    # The resolved implementation executes conformant against the rewritten
+    # specification (the Conf column exercises the inserted gate).
+    assert vme["Conf"] == "ok"
+    assert vme["LitCnt"] > 0
+
+
+def test_run_table1_without_resolution_reports_unresolved():
+    rows = run_table1(
+        entries=[benchmark_by_name("vme_read")],
+        methods=("unfolding-approx",),
+    )
+    assert rows[0]["csc_signals_added"] == 0
+    assert rows[0]["csc_resolved"] is False
+    assert rows[0]["Conf"] is None  # no conflict-free implementation to run
+
+
+def test_cli_csc_resolves_and_fails_on_unresolved(capsys):
+    assert main(["csc", "vme_read", "csc_arbiter_4", "--fail-on-unresolved"]) == 0
+    out = capsys.readouterr().out
+    assert "csc0" in out
+    assert "True" in out
+    # Budget 0 cannot resolve anything: the gate must fail.
+    assert (
+        main(["csc", "vme_read", "--max-signals", "0", "--fail-on-unresolved"]) == 1
+    )
+    assert "unresolved" in capsys.readouterr().out
+
+
+def test_cli_csc_no_resolve_reports_only(capsys):
+    assert main(["csc", "vme_read", "--no-resolve"]) == 0
+    out = capsys.readouterr().out
+    assert "vme_read" in out
+    assert "csc0" not in out
+
+
+def test_cli_csc_writes_resolved_g_file(tmp_path, capsys):
+    path = tmp_path / "resolved.g"
+    assert main(["csc", "csc_conflict", "-o", str(path)]) == 0
+    text = path.read_text()
+    assert ".internal csc0" in text
+    capsys.readouterr()
+    # The written file is itself CSC-clean.
+    assert main(["csc", str(path), "--no-resolve", "--fail-on-unresolved"]) == 0
+
+
+def test_cli_table1_resolve_encoding(capsys):
+    assert (
+        main(
+            [
+                "table1",
+                "--benchmarks",
+                "vme_read",
+                "--methods",
+                "unfolding-approx",
+                "--resolve-encoding",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "csc_signals_added" in out
+    assert "csc_resolved" in out

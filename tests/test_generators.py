@@ -8,6 +8,7 @@ from repro.stg import (
     check_consistency,
     choice_controller,
     counterflow_pipeline,
+    csc_arbiter,
     csc_conflict_example,
     example_suite,
     figure4_example,
@@ -16,6 +17,7 @@ from repro.stg import (
     parallel_handshake,
     sequential_controller,
     table1_suite,
+    vme_bus_controller,
 )
 
 
@@ -83,6 +85,45 @@ def test_figure4_example_properties():
 def test_csc_conflict_example_violates_csc():
     graph = build_state_graph(csc_conflict_example())
     assert not check_csc(graph).satisfied
+
+
+def test_vme_bus_controller_has_the_classic_conflict():
+    stg = vme_bus_controller()
+    assert stg.input_signals == ["dsr", "ldtack"]
+    assert sorted(stg.output_signals) == ["d", "dtack", "lds"]
+    assert check_consistency(stg).consistent
+    graph = build_state_graph(stg)
+    assert not check_output_persistency(graph)
+    report = check_csc(graph)
+    assert report.num_conflicts == 1
+    ((left, right),) = report.conflicts
+    # The conflicting states share a code but excite d+ vs lds-.
+    assert graph.packed_code_of(left) == graph.packed_code_of(right)
+    excited = {
+        frozenset(graph.excited_signals(left)),
+        frozenset(graph.excited_signals(right)),
+    }
+    assert excited == {frozenset({"d"}), frozenset({"lds"})}
+
+
+def test_csc_arbiter_family_scales_linearly_with_conflicts():
+    sizes = []
+    for clients in (2, 3, 4, 6):
+        stg = csc_arbiter(clients)
+        assert stg.num_signals == clients + 1
+        assert check_consistency(stg).consistent
+        graph = build_state_graph(stg)
+        sizes.append(graph.num_states)
+        report = check_csc(graph)
+        # n-way core: all "request pending" states pairwise conflicting.
+        assert report.num_conflicts == clients * (clients - 1) // 2
+        assert not check_output_persistency(graph)
+    assert sizes == [4 * n for n in (2, 3, 4, 6)]
+
+
+def test_csc_arbiter_requires_two_clients():
+    with pytest.raises(Exception):
+        csc_arbiter(1)
 
 
 def test_table1_suite_signal_counts_match_paper():

@@ -42,7 +42,7 @@ from repro.synthesis import synthesize
 SWEEP_ENTRIES = [
     entry
     for entry in table1_suite() + example_suite()
-    if entry.expected_signals <= 9 and entry.name != "csc_conflict"
+    if entry.expected_signals <= 9 and entry.csc_clean
 ]
 LARGER_ACG = ["nak-pa", "ram-read-sbuf", "sbuf-ram-write", "par_4.csc"]
 

@@ -7,6 +7,7 @@ from repro.petrinet import StateSpaceLimitExceeded
 from repro.stategraph import (
     InconsistentSTGError,
     SignalRegions,
+    StateGraph,
     build_state_graph,
     check_csc,
     check_output_persistency,
@@ -14,7 +15,16 @@ from repro.stategraph import (
     compute_regions,
     dc_set_cover,
 )
-from repro.stg import STG, SignalType, csc_conflict_example, muller_pipeline, paper_example
+from repro.stg import (
+    STG,
+    SignalType,
+    csc_arbiter,
+    csc_conflict_example,
+    muller_pipeline,
+    paper_example,
+    table1_suite,
+    vme_bus_controller,
+)
 
 
 def test_build_state_graph_codes_are_consistent():
@@ -81,6 +91,86 @@ def test_usc_and_csc_on_good_and_bad_examples():
     assert not check_usc(bad).satisfied
     assert not check_csc(bad).satisfied
     assert check_csc(bad).num_conflicts >= 1
+
+
+def test_csc_report_on_empty_graph():
+    """A graph with no states has no conflicts and satisfies both checks."""
+    stg = paper_example()
+    empty = StateGraph(stg)
+    for report in (check_usc(empty), check_csc(empty)):
+        assert report.satisfied
+        assert bool(report)
+        assert report.conflicts == []
+        assert report.num_conflicts == 0
+
+
+def test_usc_violated_but_csc_satisfied():
+    """Equal codes exciting only *inputs* differently break USC, not CSC.
+
+    Two rounds ``a+ x+ a- x-`` / ``b+ x+ b- x-`` (``a``, ``b`` inputs):
+    the all-zero code is reached once exciting ``a+`` and once exciting
+    ``b+``, but the implementable signal ``x`` behaves identically in both.
+    """
+    stg = STG("usc_only")
+    stg.add_signal("a", SignalType.INPUT, initial=0)
+    stg.add_signal("b", SignalType.INPUT, initial=0)
+    stg.add_signal("x", SignalType.OUTPUT, initial=0)
+    a_plus = stg.add_transition("a+")
+    a_minus = stg.add_transition("a-")
+    b_plus = stg.add_transition("b+")
+    b_minus = stg.add_transition("b-")
+    x_plus_a = stg.add_transition("x+")
+    x_minus_a = stg.add_transition("x-")
+    x_plus_b = stg.add_transition("x+")
+    x_minus_b = stg.add_transition("x-")
+    stg.connect(a_plus, x_plus_a)
+    stg.connect(x_plus_a, a_minus)
+    stg.connect(a_minus, x_minus_a)
+    stg.connect(x_minus_a, b_plus)
+    stg.connect(b_plus, x_plus_b)
+    stg.connect(x_plus_b, b_minus)
+    stg.connect(b_minus, x_minus_b)
+    stg.set_marking([stg.connect(x_minus_b, a_plus)])
+
+    graph = build_state_graph(stg)
+    usc = check_usc(graph)
+    csc = check_csc(graph)
+    assert not usc.satisfied
+    assert csc.satisfied
+    assert usc.num_conflicts >= 1
+    assert csc.conflicts == []
+
+
+def test_conflict_pairs_reported_sorted():
+    for build in (csc_conflict_example, vme_bus_controller, lambda: csc_arbiter(4)):
+        graph = build_state_graph(build())
+        for report in (check_usc(graph), check_csc(graph)):
+            assert report.conflicts == sorted(report.conflicts)
+            assert all(left < right for left, right in report.conflicts)
+
+
+@pytest.mark.parametrize(
+    "entry",
+    [e for e in table1_suite() if e.expected_signals <= 14],
+    ids=lambda e: e.name,
+)
+def test_conflict_sets_equal_between_packed_and_legacy(entry):
+    stg = entry.build()
+    packed = build_state_graph(stg, packed=True)
+    legacy = build_state_graph(entry.build(), packed=False)
+    for check in (check_usc, check_csc):
+        assert check(packed).conflicts == check(legacy).conflicts
+
+
+def test_conflict_sets_equal_between_packed_and_legacy_non_csc():
+    for build in (csc_conflict_example, vme_bus_controller, lambda: csc_arbiter(4)):
+        packed = build_state_graph(build(), packed=True)
+        legacy = build_state_graph(build(), packed=False)
+        for check in (check_usc, check_csc):
+            report_packed = check(packed)
+            report_legacy = check(legacy)
+            assert not report_packed.satisfied or check is check_csc
+            assert report_packed.conflicts == report_legacy.conflicts
 
 
 def test_output_persistency_violation_detected():

@@ -99,3 +99,40 @@ def test_roundtrip_is_stable():
         once = write_g(parse_g(write_g(stg)))
         twice = write_g(parse_g(once))
         assert once == twice
+
+
+def test_roundtrip_of_resolved_stg_with_internal_signals():
+    """Inserted internal signals survive the .g round trip as internals.
+
+    The writer must declare them on a ``.internal`` line (not fold them into
+    ``.outputs``) and the parser must restore the signal kind, so a resolved
+    specification re-read from disk still knows which signals belong to the
+    environment-visible interface.
+    """
+    from repro.encoding import resolve_csc
+    from repro.stg import SignalType, csc_arbiter, vme_bus_controller
+    from repro.stategraph import check_csc
+
+    for build in (vme_bus_controller, lambda: csc_arbiter(4)):
+        resolved = resolve_csc(build())
+        assert resolved.inserted
+        text = write_g(resolved.stg)
+        declarations = {
+            line.split()[0]: line.split()[1:]
+            for line in text.splitlines()
+            if line.startswith(".i") or line.startswith(".o")
+        }
+        assert set(resolved.inserted) <= set(declarations[".internal"])
+        assert not set(resolved.inserted) & set(declarations[".outputs"])
+
+        back = roundtrip(resolved.stg)
+        assert back.signal_types == resolved.stg.signal_types
+        for signal in resolved.inserted:
+            assert back.signal_type(signal) is SignalType.INTERNAL
+        assert canonical_places(back) == canonical_places(resolved.stg)
+        graph = build_state_graph(back)
+        assert check_csc(graph).satisfied
+        assert (
+            graph.reachable_packed_codes()
+            == resolved.graph.reachable_packed_codes()
+        )
