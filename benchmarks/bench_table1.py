@@ -23,6 +23,12 @@ unfolding-approx and the SG baseline.  Two encoding-layer entries ride
 along: ``csc_check_states_per_sec`` (rate of the packed USC+CSC sweep on
 ``muller_pipeline(12)``) and ``csc_resolution_largest`` (end-to-end
 ``resolve_csc`` on the largest non-CSC generator, ``csc_arbiter(8)``).
+Two symbolic-engine entries track the ``repro.spaces`` BDD backend:
+``symbolic_reachability_states_per_sec`` (characteristic-function fixed
+point + symbolic USC/CSC on ``muller_pipeline(16)``, 262144 states --
+beyond the explicit CI budget) and ``explicit_vs_symbolic_crossover``
+(end-to-end sg-explicit vs sg-bdd seconds over the Muller family and the
+stage count where the symbolic engine starts winning).
 """
 
 import argparse
@@ -145,6 +151,62 @@ def _time_csc_check(stages=12):
     }
 
 
+def _time_symbolic_reachability(stages=16):
+    """Rate of the symbolic engine on a workload the explicit one cannot
+    enumerate within the default CI budget (muller_pipeline(16), 262144
+    states): characteristic-function fixed point + symbolic USC/CSC check,
+    with states/sec measured against the symbolically *counted* states."""
+    from repro.spaces import build_state_space
+
+    stg = muller_pipeline(stages)
+    t0 = time.perf_counter()
+    space = build_state_space(stg, engine="bdd")
+    states = space.num_states
+    reach_seconds = time.perf_counter() - t0
+    t1 = time.perf_counter()
+    usc = space.check_usc()
+    csc = space.check_csc()
+    check_seconds = time.perf_counter() - t1
+    return {
+        "stages": stages,
+        "states": states,
+        "bdd_nodes": space.num_bdd_nodes,
+        "fixpoint_passes": space.iterations,
+        "reachability_seconds": round(reach_seconds, 4),
+        "states_per_sec": round(states / reach_seconds) if reach_seconds > 0 else None,
+        "usc_csc_seconds": round(check_seconds, 4),
+        "usc_conflicts": usc.num_pairs,
+        "csc_conflicts": csc.num_pairs,
+    }
+
+
+def _time_engine_crossover(stage_counts=(8, 10, 12, 14, 16), explicit_limit_signals=14):
+    """Explicit-vs-symbolic end-to-end synthesis crossover on the Muller
+    pipeline: per-stage seconds for both engines (the explicit engine is
+    skipped beyond its signal limit) and the first stage count where the
+    symbolic engine wins outright."""
+    rows = []
+    crossover = None
+    for stages in stage_counts:
+        stg = muller_pipeline(stages)
+        row = {"stages": stages, "signals": stg.num_signals}
+        t0 = time.perf_counter()
+        bdd_result = synthesize(stg, method="sg-bdd", max_states=None)
+        row["sg_bdd_seconds"] = round(time.perf_counter() - t0, 4)
+        row["states"] = bdd_result.num_states
+        if stg.num_signals <= explicit_limit_signals:
+            stg = muller_pipeline(stages)
+            t0 = time.perf_counter()
+            synthesize(stg, method="sg-explicit", max_states=None)
+            row["sg_explicit_seconds"] = round(time.perf_counter() - t0, 4)
+            if crossover is None and row["sg_bdd_seconds"] < row["sg_explicit_seconds"]:
+                crossover = stages
+        else:
+            row["sg_explicit_seconds"] = None
+        rows.append(row)
+    return {"rows": rows, "symbolic_wins_from_stages": crossover}
+
+
 def _time_csc_resolution(clients=8, max_signals=6):
     """End-to-end CSC resolution of the largest non-CSC generator workload."""
     stg = csc_arbiter(clients)
@@ -197,6 +259,8 @@ def collect_json(max_signals=14, baseline_seconds=None, unfolding_baseline_secon
         },
         "csc_check_states_per_sec": _time_csc_check(),
         "csc_resolution_largest": _time_csc_resolution(),
+        "symbolic_reachability_states_per_sec": _time_symbolic_reachability(),
+        "explicit_vs_symbolic_crossover": _time_engine_crossover(),
         "table1_rows": [dict(row) for row in rows],
     }
     return report
@@ -261,6 +325,23 @@ def main(argv=None):
             resolution["signals_added"],
             resolution["resolved"],
         )
+    )
+    symbolic = report["symbolic_reachability_states_per_sec"]
+    print(
+        "muller_pipeline(%d) symbolic reachability: %.3fs (%s states/s, %d BDD "
+        "nodes), USC+CSC %.3fs"
+        % (
+            symbolic["stages"],
+            symbolic["reachability_seconds"],
+            symbolic["states_per_sec"],
+            symbolic["bdd_nodes"],
+            symbolic["usc_csc_seconds"],
+        )
+    )
+    crossover = report["explicit_vs_symbolic_crossover"]
+    print(
+        "explicit-vs-symbolic crossover: symbolic wins from %s stages"
+        % crossover["symbolic_wins_from_stages"]
     )
     return 0
 

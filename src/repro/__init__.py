@@ -17,7 +17,13 @@ Public API overview
     CSC conflict resolution by internal-signal insertion:
     ``resolve_csc(stg)`` returns a rewritten, synthesisable STG.
 ``repro.bdd``
-    ROBDD package and symbolic reachability (the Petrify-like baseline).
+    ROBDD package: hash-consed manager with relational products, ISOP cube
+    extraction and the partitioned-relation symbolic reachability engine.
+``repro.spaces``
+    The state-space protocol: ``build_state_space(stg, engine=...)``
+    returns an explicit (SIS-like) or symbolic (Petrify-like) backend
+    answering the same region/cover/CSC queries; every SG-based consumer
+    runs on either.
 ``repro.unfolding``
     STG-unfolding segments, cuts, slices, semi-modularity.
 ``repro.synthesis``
@@ -40,6 +46,7 @@ Quick start
 """
 
 from .encoding import EncodingResult, resolve_csc
+from .spaces import StateSpace, build_state_space
 from .synthesis import SynthesisResult, synthesize
 from .sim import simulate_implementation, simulate_spec
 from .stg import STG, parse_g, parse_g_file, write_g
@@ -47,6 +54,8 @@ from .stg import STG, parse_g, parse_g_file, write_g
 __all__ = [
     "EncodingResult",
     "resolve_csc",
+    "StateSpace",
+    "build_state_space",
     "SynthesisResult",
     "synthesize",
     "simulate_implementation",

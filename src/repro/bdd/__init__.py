@@ -1,7 +1,9 @@
 """ROBDD package and symbolic reachability (the Petrify-like substrate)."""
 
 from .manager import BDD
+from .isop import isop
 from .reachability import (
+    SymbolicNet,
     SymbolicReachability,
     count_reachable_markings,
     symbolic_reachable_markings,
@@ -9,6 +11,8 @@ from .reachability import (
 
 __all__ = [
     "BDD",
+    "isop",
+    "SymbolicNet",
     "SymbolicReachability",
     "count_reachable_markings",
     "symbolic_reachable_markings",

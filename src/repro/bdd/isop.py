@@ -1,0 +1,92 @@
+"""Irredundant sum-of-products extraction from BDDs (Minato-Morreale).
+
+The symbolic state-space backend keeps on-sets, off-sets and don't-care
+sets as BDDs over the signal variables; the two-level minimiser
+(:func:`repro.boolean.minimize.espresso`) works on cube covers.  This module
+bridges the two: :func:`isop` computes an irredundant cover ``C`` with
+``lower <= C <= upper`` using the classic Minato-Morreale recursion, so the
+espresso pass is seeded with a small cube cover instead of one cube per
+minterm (the explicit engine's starting point).
+
+Cubes are returned as ``(ones, zeros)`` bit-mask pairs over caller-chosen
+bit positions, the exact shape :class:`repro.boolean.cube.Cube` stores, so
+no per-bit translation is needed downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .manager import BDD
+
+__all__ = ["isop"]
+
+
+def isop(bdd: BDD, lower: int, upper: int, bit_of: Dict[str, int]) -> List[Tuple[int, int]]:
+    """Cubes of an irredundant SOP ``C`` with ``lower <= C <= upper``.
+
+    Parameters
+    ----------
+    bdd:
+        The manager both functions live in.
+    lower / upper:
+        BDD nodes with ``lower`` implying ``upper``; ``lower`` is the set
+        that must be covered, ``upper \\ lower`` the don't-care room the
+        cover may use.
+    bit_of:
+        Maps each variable name that may occur in the support of the two
+        functions to the bit position it occupies in the output cubes
+        (e.g. the signal's index in ``stg.signals``).
+
+    Returns a list of ``(ones, zeros)`` mask pairs; the represented cover
+    satisfies the bounds by construction.
+    """
+    level_bit: Dict[int, int] = {}
+    for name, bit in bit_of.items():
+        level_bit[bdd._level[name]] = bit
+    cache: Dict[Tuple[int, int], Tuple[int, Tuple[Tuple[int, int], ...]]] = {}
+
+    def walk(low: int, up: int) -> Tuple[int, Tuple[Tuple[int, int], ...]]:
+        if low == bdd.FALSE:
+            return bdd.FALSE, ()
+        if up == bdd.TRUE:
+            return bdd.TRUE, ((0, 0),)
+        key = (low, up)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(bdd._level_of(low), bdd._level_of(up))
+        try:
+            bit = level_bit[level]
+        except KeyError:
+            raise ValueError(
+                "isop support variable %r has no output bit"
+                % bdd.variables[level]
+            )
+        low0, low1 = bdd._cofactors(low, level)
+        up0, up1 = bdd._cofactors(up, level)
+        # Minterms that can only be covered by cubes carrying the literal.
+        need0 = bdd.conj(low0, bdd.negate(up1))
+        need1 = bdd.conj(low1, bdd.negate(up0))
+        g0, cubes0 = walk(need0, up0)
+        g1, cubes1 = walk(need1, up1)
+        # Whatever the literal-carrying cubes left uncovered is handled by
+        # cubes free of this variable, bounded by what both branches allow.
+        rest = bdd.disj(
+            bdd.conj(low0, bdd.negate(g0)), bdd.conj(low1, bdd.negate(g1))
+        )
+        gd, cubesd = walk(rest, bdd.conj(up0, up1))
+        cover = bdd.disj(gd, bdd._make_node(level, g0, g1))
+        cubes = (
+            cubesd
+            + tuple((ones, zeros | (1 << bit)) for ones, zeros in cubes0)
+            + tuple((ones | (1 << bit), zeros) for ones, zeros in cubes1)
+        )
+        result = (cover, cubes)
+        cache[key] = result
+        return result
+
+    if bdd.conj(lower, bdd.negate(upper)) != bdd.FALSE:
+        raise ValueError("isop requires lower <= upper")
+    _cover, cubes = walk(lower, upper)
+    return list(cubes)

@@ -9,11 +9,29 @@ quantification and satisfying-assignment enumeration.
 The implementation follows Bryant's original formulation: nodes are
 ``(level, low, high)`` triples, terminals are ``0`` and ``1``, and every
 operation is memoised on node identity.
+
+Beyond the classic core the manager provides the three operations the
+symbolic state-space backend (:mod:`repro.spaces`) is built on:
+
+* :meth:`BDD.and_exists` -- the *relational product*
+  ``exists V . (f and g)`` computed in a single recursive pass (with early
+  termination on TRUE inside quantified branches) instead of building the
+  conjunction first and quantifying afterwards;
+* :meth:`BDD.rename` -- order-preserving variable substitution, used to
+  move a characteristic function between the current and primed variable
+  blocks of the code-equality product;
+* :meth:`BDD.count_solutions` over a *subset* of the variables, so state
+  counts are not inflated by auxiliary (primed) variables.
+
+``exists`` / ``forall`` are likewise single recursive walks over the node
+graph (one ``disj``/``conj`` per quantified node) rather than one
+restrict-pair per variable, which matters when projecting 100+ place
+variables out of a characteristic function.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 __all__ = ["BDD"]
 
@@ -34,6 +52,13 @@ class BDD:
         self._unique: Dict[Tuple[int, int, int], int] = {}
         self._ite_cache: Dict[Tuple[int, int, int], int] = {}
         self._var_nodes: Dict[str, int] = {}
+        # Interned quantification sets: frozenset of levels -> small id, so
+        # and_exists/exists results can be memoised across calls that reuse
+        # the same per-transition variable sets.
+        self._quant_ids: Dict[FrozenSet[int], int] = {}
+        self._and_exists_cache: Dict[Tuple[int, int, int], int] = {}
+        self._exists_cache: Dict[Tuple[int, int], int] = {}
+        self._forall_cache: Dict[Tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------ #
     # Node management
@@ -167,29 +192,192 @@ class BDD:
 
         return walk(f)
 
+    def _quant_id(self, levels: FrozenSet[int]) -> int:
+        ident = self._quant_ids.get(levels)
+        if ident is None:
+            ident = len(self._quant_ids)
+            self._quant_ids[levels] = ident
+        return ident
+
+    def _levels_of(self, names: Iterable[str]) -> FrozenSet[int]:
+        return frozenset(self._level[name] for name in names)
+
     def exists(self, f: int, names: Iterable[str]) -> int:
-        """Existentially quantify the given variables out of ``f``."""
-        result = f
-        for name in names:
-            low = self.restrict(result, name, False)
-            high = self.restrict(result, name, True)
-            result = self.disj(low, high)
-        return result
+        """Existentially quantify the given variables out of ``f``.
+
+        One recursive walk over the node graph: quantified nodes collapse to
+        ``low or high``, unquantified ones are rebuilt.  Results are memoised
+        per (node, variable-set) across calls.
+        """
+        levels = self._levels_of(names)
+        if not levels:
+            return f
+        qid = self._quant_id(levels)
+        cache = self._exists_cache
+        nodes = self._nodes
+
+        def walk(node: int) -> int:
+            if node in (self.FALSE, self.TRUE):
+                return node
+            key = (node, qid)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+            level, low, high = nodes[node]
+            if level in levels:
+                result = self.disj(walk(low), walk(high))
+            else:
+                result = self._make_node(level, walk(low), walk(high))
+            cache[key] = result
+            return result
+
+        return walk(f)
 
     def forall(self, f: int, names: Iterable[str]) -> int:
         """Universally quantify the given variables out of ``f``."""
-        result = f
-        for name in names:
-            low = self.restrict(result, name, False)
-            high = self.restrict(result, name, True)
-            result = self.conj(low, high)
-        return result
+        levels = self._levels_of(names)
+        if not levels:
+            return f
+        qid = self._quant_id(levels)
+        cache = self._forall_cache
+        nodes = self._nodes
+
+        def walk(node: int) -> int:
+            if node in (self.FALSE, self.TRUE):
+                return node
+            key = (node, qid)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+            level, low, high = nodes[node]
+            if level in levels:
+                result = self.conj(walk(low), walk(high))
+            else:
+                result = self._make_node(level, walk(low), walk(high))
+            cache[key] = result
+            return result
+
+        return walk(f)
+
+    def and_exists(self, f: int, g: int, names: Iterable[str]) -> int:
+        """Relational product ``exists names . (f and g)`` in one pass.
+
+        This is the workhorse of symbolic image computation: instead of
+        materialising ``f and g`` (whose BDD can be much larger than either
+        operand or the result) and quantifying afterwards, the conjunction
+        and the quantification are interleaved in a single recursion, with
+        early termination as soon as a quantified branch reaches TRUE.
+        """
+        levels = self._levels_of(names)
+        qid = self._quant_id(levels)
+        cache = self._and_exists_cache
+        total = len(self.variables)
+
+        def walk(f_node: int, g_node: int) -> int:
+            if f_node == self.FALSE or g_node == self.FALSE:
+                return self.FALSE
+            if f_node == self.TRUE and g_node == self.TRUE:
+                return self.TRUE
+            if g_node < f_node:
+                f_node, g_node = g_node, f_node  # conjunction is symmetric
+            key = (f_node, g_node, qid)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+            level = min(self._level_of(f_node), self._level_of(g_node))
+            if level >= total:  # both terminal TRUE handled above
+                return self.TRUE
+            f0, f1 = self._cofactors(f_node, level)
+            g0, g1 = self._cofactors(g_node, level)
+            if level in levels:
+                low = walk(f0, g0)
+                if low == self.TRUE:
+                    result = self.TRUE
+                else:
+                    result = self.disj(low, walk(f1, g1))
+            else:
+                result = self._make_node(level, walk(f0, g0), walk(f1, g1))
+            cache[key] = result
+            return result
+
+        return walk(f, g)
+
+    def rename(self, f: int, mapping: Dict[str, str]) -> int:
+        """Substitute variables according to ``mapping`` (old name -> new).
+
+        The mapping must be *order-preserving*: the relative level order of
+        the mapped variables must equal that of their images, and no image
+        level may collide with an unmapped level in the support of ``f``.
+        Under that restriction (which holds by construction for the
+        current/primed variable blocks used by the symbolic state space,
+        where each primed variable sits directly below its twin) the
+        substitution is a simple level remap on the node graph.
+        """
+        level_map: Dict[int, int] = {}
+        for old, new in mapping.items():
+            level_map[self._level[old]] = self._level[new]
+        if not level_map:
+            return f
+        support_levels = sorted(self._level[name] for name in self.support(f))
+        transformed = [level_map.get(level, level) for level in support_levels]
+        if len(set(transformed)) != len(transformed) or transformed != sorted(transformed):
+            raise ValueError("rename mapping does not preserve the variable order")
+        cache: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node in (self.FALSE, self.TRUE):
+                return node
+            cached = cache.get(node)
+            if cached is not None:
+                return cached
+            level, low, high = self._nodes[node]
+            result = self._make_node(level_map.get(level, level), walk(low), walk(high))
+            cache[node] = result
+            return result
+
+        return walk(f)
+
+    def support(self, f: int) -> List[str]:
+        """Names of the variables ``f`` actually depends on, in level order."""
+        seen: Set[int] = set()
+        levels: Set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node in (self.FALSE, self.TRUE) or node in seen:
+                continue
+            seen.add(node)
+            level, low, high = self._nodes[node]
+            levels.add(level)
+            stack.append(low)
+            stack.append(high)
+        return [self.variables[level] for level in sorted(levels)]
 
     # ------------------------------------------------------------------ #
     # Model counting / enumeration
     # ------------------------------------------------------------------ #
-    def count_solutions(self, f: int) -> int:
-        """Number of satisfying assignments over all declared variables."""
+    def count_solutions(self, f: int, names: Optional[Iterable[str]] = None) -> int:
+        """Number of satisfying assignments.
+
+        By default the count is over *all* declared variables.  With
+        ``names`` the count is over exactly that subset, which must contain
+        the support of ``f`` (otherwise the count would not be well defined);
+        this is how the symbolic state space counts states without the
+        primed/auxiliary variable blocks inflating the result.
+        """
+        if names is not None:
+            subset = set(names)
+            missing = [name for name in self.support(f) if name not in subset]
+            if missing:
+                raise ValueError(
+                    "count_solutions subset must contain the support "
+                    "(missing %s)" % ", ".join(missing)
+                )
+            unknown = [name for name in subset if name not in self._level]
+            if unknown:
+                raise ValueError("unknown variables in subset: %s" % ", ".join(unknown))
+            full = self.count_solutions(f)
+            return full >> (len(self.variables) - len(subset))
         cache: Dict[int, int] = {}
         total_vars = len(self.variables)
 
@@ -213,9 +401,26 @@ class BDD:
         count, level = walk(f)
         return count * (1 << level)
 
-    def satisfying_assignments(self, f: int) -> Iterator[Dict[str, bool]]:
-        """Enumerate complete satisfying assignments of ``f``."""
+    def satisfying_assignments(
+        self, f: int, names: Optional[Iterable[str]] = None
+    ) -> Iterator[Dict[str, bool]]:
+        """Enumerate complete satisfying assignments of ``f``.
+
+        By default assignments cover every declared variable.  With
+        ``names`` only that subset is enumerated; it must contain the
+        support of ``f`` (variables outside the subset would otherwise make
+        the enumeration ill-defined).
+        """
         total_vars = len(self.variables)
+        subset: Optional[Set[str]] = None
+        if names is not None:
+            subset = set(names)
+            missing = [name for name in self.support(f) if name not in subset]
+            if missing:
+                raise ValueError(
+                    "enumeration subset must contain the support "
+                    "(missing %s)" % ", ".join(missing)
+                )
 
         def walk(node: int, level: int, partial: Dict[str, bool]) -> Iterator[Dict[str, bool]]:
             if node == self.FALSE:
@@ -225,6 +430,11 @@ class BDD:
                 return
             name = self.variables[level]
             node_level = self._level_of(node)
+            if subset is not None and name not in subset:
+                # Outside the subset the function cannot depend on the
+                # variable (support was checked): skip the level entirely.
+                yield from walk(node, level + 1, partial)
+                return
             if node_level > level:
                 for value in (False, True):
                     partial[name] = value

@@ -1,104 +1,389 @@
-"""Symbolic reachability analysis of safe Petri nets.
+"""Symbolic reachability of safe Petri nets and STGs.
 
-This is the "Petrify-like" state-space engine: markings of a safe net are
-encoded as Boolean vectors (one variable per place) and the reachable set is
-computed as a least fixed point of the symbolic image operation.  The paper
-contrasts this style of tool with the unfolding approach; Figure 6 shows
-both choking on highly concurrent specifications while the unfolding stays
-small, and this module lets the benchmark harness reproduce that contrast.
+This is the substrate of the "Petrify-like" engine: markings of a safe net
+are encoded as Boolean vectors (one variable per place) and, when an STG is
+given, the *characteristic function* additionally tracks the binary code
+(one variable per signal), so a single BDD ``R(places, signals)`` describes
+the whole State Graph -- every reachable (marking, code) pair -- without
+ever materialising a state list.
+
+Engine structure
+----------------
+* **Partitioned transition relations** -- every transition is pre-compiled
+  into ``(enable cube, changed-variable set, update cube)``; the image of a
+  set ``S`` under one transition is a single relational product
+  :meth:`repro.bdd.manager.BDD.and_exists` followed by one conjunction with
+  the update cube.  No monolithic transition relation is ever built.
+* **Interleaved variable ordering** -- place variables appear in net order
+  and every signal variable is anchored next to the first place adjacent to
+  one of its transitions, keeping the marking and code parts of the
+  characteristic function correlated locally (the classic ordering lever
+  for pipeline-shaped specifications).  When the primed block is enabled,
+  each variable's primed twin sits directly below it, so the
+  current<->primed rename of the code-equality product is order-preserving.
+* **Chaining fixed point** -- within one pass over the transitions the
+  freshly produced states are fed straight back into the next image, which
+  converges in ~pipeline-depth passes on marked-graph specifications
+  instead of one pass per BFS layer.
+
+:class:`SymbolicReachability` keeps the historical marking-only API (used
+by the net-level tests); :class:`SymbolicNet` is the full engine consumed
+by :class:`repro.spaces.SymbolicStateSpace`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
-from ..petrinet import Marking, PetriNet
+from ..petrinet import Marking, PetriNet, StateSpaceLimitExceeded
 from .manager import BDD
 
 __all__ = [
+    "SymbolicNet",
     "SymbolicReachability",
     "symbolic_reachable_markings",
     "count_reachable_markings",
 ]
 
+_PLACE = "p:"
+_PLACE_PRIMED = "p':"
+_SIGNAL = "s:"
+_SIGNAL_PRIMED = "s':"
 
-class SymbolicReachability:
-    """Symbolic (BDD-based) reachable-marking computation for a safe net."""
 
-    def __init__(self, net: PetriNet, max_iterations: Optional[int] = None) -> None:
+class SymbolicNet:
+    """Partitioned-relation symbolic engine for a safe net (plus STG codes).
+
+    Parameters
+    ----------
+    net:
+        The safe, weight-1 Petri net to explore.
+    stg:
+        When given, the characteristic function also tracks the binary code:
+        labelled transitions toggle their signal's variable, and the primed
+        variable block (for the code-equality products of the USC/CSC
+        checks) is allocated.
+    max_iterations:
+        Bound on the number of chaining passes of the fixed point.
+    max_states:
+        Optional bound on the number of reachable states; exceeding it
+        raises :class:`~repro.petrinet.StateSpaceLimitExceeded` (checked by
+        a symbolic count after every chaining pass -- no state is ever
+        enumerated).
+    """
+
+    def __init__(
+        self,
+        net: PetriNet,
+        stg=None,
+        max_iterations: Optional[int] = None,
+        max_states: Optional[int] = None,
+    ) -> None:
         self.net = net
-        self.places: List[str] = list(net.places)
-        self.bdd = BDD(self.places)
+        self.stg = stg
         self.max_iterations = max_iterations
-        self._reachable: Optional[int] = None
+        self.max_states = max_states
         self.iterations = 0
+        self.places: List[str] = list(net.places)
+        self.signals: List[str] = list(stg.signals) if stg is not None else []
+        self.primed = stg is not None
+        self.bdd = BDD(self._ordering())
+        self.place_vars = [_PLACE + p for p in self.places]
+        self.signal_vars = [_SIGNAL + s for s in self.signals]
+        self.state_vars = self.place_vars + self.signal_vars
+        self.primed_place_vars = [_PLACE_PRIMED + p for p in self.places] if self.primed else []
+        self.primed_signal_vars = [_SIGNAL_PRIMED + s for s in self.signals] if self.primed else []
+        self._compile_transitions()
+        self._initial = self._encode_initial()
+        self._reached: Optional[int] = None
 
     # ------------------------------------------------------------------ #
-    # Encoding helpers
+    # Variable ordering
     # ------------------------------------------------------------------ #
-    def encode_marking(self, marking: Marking) -> int:
-        """BDD of a single (safe) marking."""
-        assignment = {place: (marking[place] > 0) for place in self.places}
-        return self.bdd.cube(assignment)
-
-    def _image(self, current: int, transition: str) -> int:
-        """Successor markings of ``current`` under one transition."""
-        bdd = self.bdd
-        preset = sorted(self.net.preset(transition))
-        postset = sorted(self.net.postset(transition))
-        enabled = bdd.conj(current, bdd.conj_all(bdd.var(p) for p in preset))
-        if enabled == bdd.FALSE:
-            return bdd.FALSE
-        changed = sorted(set(preset) | set(postset))
-        abstracted = bdd.exists(enabled, changed)
-        after = abstracted
-        for place in changed:
-            if place in postset:
-                after = bdd.conj(after, bdd.var(place))
+    def _ordering(self) -> List[str]:
+        """Interleaved place/signal order, primed twins adjacent."""
+        place_index = {p: i for i, p in enumerate(self.places)}
+        anchored: Dict[int, List[str]] = {}
+        trailing: List[str] = []
+        for signal in self.signals:
+            anchor = None
+            for transition in self.stg.transitions_of_signal(signal):
+                for place in list(self.net.preset(transition)) + list(
+                    self.net.postset(transition)
+                ):
+                    index = place_index[place]
+                    if anchor is None or index < anchor:
+                        anchor = index
+            if anchor is None:
+                trailing.append(signal)
             else:
-                after = bdd.conj(after, bdd.nvar(place))
-        return after
+                anchored.setdefault(anchor, []).append(signal)
+        order: List[str] = []
+
+        def emit(prefix: str, primed_prefix: str, name: str) -> None:
+            order.append(prefix + name)
+            if self.primed:
+                order.append(primed_prefix + name)
+
+        for index, place in enumerate(self.places):
+            emit(_PLACE, _PLACE_PRIMED, place)
+            for signal in anchored.get(index, ()):
+                emit(_SIGNAL, _SIGNAL_PRIMED, signal)
+        for signal in trailing:
+            emit(_SIGNAL, _SIGNAL_PRIMED, signal)
+        return order
+
+    # ------------------------------------------------------------------ #
+    # Transition compilation (partitioned relations)
+    # ------------------------------------------------------------------ #
+    def _compile_transitions(self) -> None:
+        bdd = self.bdd
+        self.transitions: List[str] = list(self.net.transitions)
+        self._transition_index = {t: i for i, t in enumerate(self.transitions)}
+        self._enable: List[int] = []
+        self._changed: List[FrozenSet[str]] = []
+        self._update: List[int] = []
+        self._unsafe_or: List[int] = []
+        self._wrong_value: List[int] = []
+        for transition in self.transitions:
+            preset = sorted(self.net.preset(transition))
+            postset = sorted(self.net.postset(transition))
+            enable = bdd.conj_all(bdd.var(_PLACE + p) for p in preset)
+            changed = {_PLACE + p for p in set(preset) | set(postset)}
+            update = bdd.TRUE
+            for place in postset:
+                update = bdd.conj(update, bdd.var(_PLACE + place))
+            for place in preset:
+                if place not in postset:
+                    update = bdd.conj(update, bdd.nvar(_PLACE + place))
+            unsafe = bdd.disj_all(
+                bdd.var(_PLACE + p) for p in postset if p not in preset
+            )
+            wrong = bdd.FALSE
+            if self.stg is not None:
+                label = self.stg.label_of(transition)
+                if label is not None:
+                    name = _SIGNAL + label.signal
+                    changed.add(name)
+                    if label.target_value:
+                        update = bdd.conj(update, bdd.var(name))
+                        wrong = bdd.var(name)  # firing x+ while x is already 1
+                    else:
+                        update = bdd.conj(update, bdd.nvar(name))
+                        wrong = bdd.nvar(name)
+            self._enable.append(enable)
+            self._changed.append(frozenset(changed))
+            self._update.append(update)
+            self._unsafe_or.append(unsafe)
+            self._wrong_value.append(wrong)
+
+    def _encode_initial(self) -> int:
+        assignment: Dict[str, bool] = {}
+        marking = self.net.initial_marking
+        for place in self.places:
+            assignment[_PLACE + place] = marking[place] > 0
+        if self.stg is not None:
+            code = self.stg.initial_code()
+            for signal, value in zip(self.signals, code):
+                assignment[_SIGNAL + signal] = bool(value)
+        return self.bdd.cube(assignment)
 
     # ------------------------------------------------------------------ #
     # Fixed point
     # ------------------------------------------------------------------ #
-    def reachable_set(self) -> int:
-        """BDD of all reachable markings (least fixed point)."""
-        if self._reachable is not None:
-            return self._reachable
+    def image(self, current: int, index: int) -> int:
+        """Successor states of ``current`` under one transition."""
         bdd = self.bdd
-        reached = self.encode_marking(self.net.initial_marking)
-        frontier = reached
+        abstracted = bdd.and_exists(current, self._enable[index], self._changed[index])
+        if abstracted == bdd.FALSE:
+            return bdd.FALSE
+        return bdd.conj(abstracted, self._update[index])
+
+    def reachable_set(self) -> int:
+        """BDD of all reachable states (least fixed point, chaining order)."""
+        if self._reached is not None:
+            return self._reached
+        bdd = self.bdd
+        reached = self._initial
+        ntrans = len(self.transitions)
         self.iterations = 0
-        while frontier != bdd.FALSE:
+        changed = True
+        while changed:
             self.iterations += 1
             if self.max_iterations is not None and self.iterations > self.max_iterations:
                 raise RuntimeError(
                     "symbolic reachability exceeded %d iterations" % self.max_iterations
                 )
-            new_frontier = bdd.FALSE
-            for transition in self.net.transitions:
-                new_frontier = bdd.disj(new_frontier, self._image(frontier, transition))
-            frontier = bdd.conj(new_frontier, bdd.negate(reached))
-            reached = bdd.disj(reached, frontier)
-        self._reachable = reached
+            changed = False
+            for index in range(ntrans):
+                img = self.image(reached, index)
+                if img == bdd.FALSE:
+                    continue
+                union = bdd.disj(reached, img)
+                if union != reached:
+                    reached = union
+                    changed = True
+            if (
+                self.max_states is not None
+                and bdd.count_solutions(reached, self.state_vars) > self.max_states
+            ):
+                raise StateSpaceLimitExceeded(self.max_states)
+        self._reached = reached
         return reached
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def count_states(self) -> int:
+        """Number of reachable (marking, code) states."""
+        return self.bdd.count_solutions(self.reachable_set(), self.state_vars)
+
+    def count_markings(self) -> int:
+        """Number of distinct reachable markings."""
+        marking_set = self.bdd.exists(self.reachable_set(), self.signal_vars)
+        return self.bdd.count_solutions(marking_set, self.place_vars)
+
+    def excited(self, transitions: Sequence[str]) -> int:
+        """Reachable states enabling at least one of the given transitions."""
+        bdd = self.bdd
+        enable = bdd.disj_all(
+            self._enable[self._transition_index[t]] for t in transitions
+        )
+        return bdd.conj(self.reachable_set(), enable)
+
+    def project_codes(self, states: int) -> int:
+        """Quantify the marking away: the binary codes of a state set."""
+        return self.bdd.exists(states, self.place_vars)
+
+    def signal_var(self, signal: str) -> int:
+        return self.bdd.var(_SIGNAL + signal)
+
+    def rename_places_to_primed(self, f: int) -> int:
+        return self.bdd.rename(f, {_PLACE + p: _PLACE_PRIMED + p for p in self.places})
+
+    def rename_signals_to_primed(self, f: int) -> int:
+        return self.bdd.rename(
+            f, {_SIGNAL + s: _SIGNAL_PRIMED + s for s in self.signals}
+        )
+
+    def places_differ(self) -> int:
+        """BDD of ``exists i . p_i != p'_i`` (marking inequality)."""
+        bdd = self.bdd
+        return bdd.disj_all(
+            bdd.xor(bdd.var(_PLACE + p), bdd.var(_PLACE_PRIMED + p))
+            for p in self.places
+        )
+
+    def signals_differ(self) -> int:
+        """BDD of ``exists i . s_i != s'_i`` (code inequality)."""
+        bdd = self.bdd
+        return bdd.disj_all(
+            bdd.xor(bdd.var(_SIGNAL + s), bdd.var(_SIGNAL_PRIMED + s))
+            for s in self.signals
+        )
+
+    def signal_levels(self) -> Dict[str, int]:
+        """Signal name -> bit index in ``stg.signals`` order (cube space)."""
+        return {_SIGNAL + s: i for i, s in enumerate(self.signals)}
+
+    def code_words(self, codes: int) -> Iterator[int]:
+        """Enumerate a code-space BDD as packed code words."""
+        for assignment in self.bdd.satisfying_assignments(codes, self.signal_vars):
+            word = 0
+            for index, signal in enumerate(self.signals):
+                if assignment[_SIGNAL + signal]:
+                    word |= 1 << index
+            yield word
+
+    # ------------------------------------------------------------------ #
+    # Well-formedness witnesses (checked after the fixed point)
+    # ------------------------------------------------------------------ #
+    def unsafe_witness(self) -> Optional[str]:
+        """Name of a transition whose firing would not be safe, if any."""
+        bdd = self.bdd
+        reached = self.reachable_set()
+        for index, transition in enumerate(self.transitions):
+            if self._unsafe_or[index] == bdd.FALSE:
+                continue
+            guard = bdd.conj(self._enable[index], self._unsafe_or[index])
+            if bdd.and_exists(reached, guard, self.bdd.variables) != bdd.FALSE:
+                return transition
+        return None
+
+    def inconsistent_enabled_witness(self) -> Optional[str]:
+        """A labelled transition enabled while its signal already holds the
+        target value (violating consistent state assignment), if any."""
+        bdd = self.bdd
+        reached = self.reachable_set()
+        for index, transition in enumerate(self.transitions):
+            if self._wrong_value[index] == bdd.FALSE:
+                continue
+            guard = bdd.conj(self._enable[index], self._wrong_value[index])
+            if bdd.and_exists(reached, guard, self.bdd.variables) != bdd.FALSE:
+                return transition
+        return None
+
+    def has_code_clash(self) -> bool:
+        """True when some marking is reachable with two different codes."""
+        if not self.primed or not self.signals:
+            return False
+        bdd = self.bdd
+        reached = self.reachable_set()
+        primed = self.rename_signals_to_primed(reached)
+        clash = bdd.conj(bdd.conj(reached, primed), self.signals_differ())
+        return clash != bdd.FALSE
+
+    def __repr__(self) -> str:
+        return "SymbolicNet(%r, places=%d, signals=%d, nodes=%d)" % (
+            self.net.name,
+            len(self.places),
+            len(self.signals),
+            self.bdd.num_nodes,
+        )
+
+
+class SymbolicReachability:
+    """Marking-only symbolic reachability (the historical net-level API)."""
+
+    def __init__(self, net: PetriNet, max_iterations: Optional[int] = None) -> None:
+        self.net = net
+        self.places: List[str] = list(net.places)
+        self._engine = SymbolicNet(net, max_iterations=max_iterations)
+        self.bdd = self._engine.bdd
+        self.max_iterations = max_iterations
+
+    @property
+    def iterations(self) -> int:
+        return self._engine.iterations
+
+    def encode_marking(self, marking: Marking) -> int:
+        """BDD of a single (safe) marking."""
+        assignment = {_PLACE + place: (marking[place] > 0) for place in self.places}
+        return self.bdd.cube(assignment)
+
+    def reachable_set(self) -> int:
+        """BDD of all reachable markings (least fixed point)."""
+        return self._engine.reachable_set()
 
     def count(self) -> int:
         """Number of reachable markings."""
-        return self.bdd.count_solutions(self.reachable_set())
+        return self._engine.count_markings()
 
     def markings(self) -> List[FrozenSet[str]]:
         """Explicit list of reachable markings (sets of marked places)."""
         reachable = self.reachable_set()
         result: List[FrozenSet[str]] = []
         for assignment in self.bdd.satisfying_assignments(reachable):
-            result.append(frozenset(p for p, v in assignment.items() if v))
+            result.append(
+                frozenset(
+                    name[len(_PLACE):] for name, value in assignment.items() if value
+                )
+            )
         return result
 
     def contains(self, marking: Marking) -> bool:
         """Membership test for a marking."""
-        assignment = {place: (marking[place] > 0) for place in self.places}
+        assignment = {_PLACE + place: (marking[place] > 0) for place in self.places}
         return self.bdd.evaluate(self.reachable_set(), assignment)
 
 

@@ -87,6 +87,16 @@ class Cover:
         """Build a cover with one cube per minterm."""
         return cls(nvars, [Cube.from_minterm(nvars, m) for m in minterms])
 
+    @classmethod
+    def from_mask_pairs(cls, nvars: int, pairs: Iterable[Tuple[int, int]]) -> "Cover":
+        """Build a cover from raw ``(ones, zeros)`` cube masks.
+
+        This is the hand-off format of the symbolic engine's ISOP cube
+        extraction (:func:`repro.bdd.isop`): each pair becomes one cube with
+        no per-bit translation.
+        """
+        return cls(nvars, [Cube(nvars, ones, zeros) for ones, zeros in pairs])
+
     def copy(self) -> "Cover":
         """Return a shallow copy (cubes are immutable, so this is safe)."""
         return Cover(self.nvars, self._cubes)

@@ -25,6 +25,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from .flow import (
+    apply_engine,
     format_table,
     run_counterflow,
     run_figure6,
@@ -57,6 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--methods", nargs="+", default=["unfolding-approx", "sg-explicit"])
     table1.add_argument("--benchmarks", nargs="*", default=None)
     table1.add_argument(
+        "--engine",
+        choices=("explicit", "bdd"),
+        default=None,
+        help="state-space backend for the SG methods (retargets any sg-* method)",
+    )
+    table1.add_argument(
         "--no-conformance",
         action="store_true",
         help="skip the simulator-backed conformance column",
@@ -85,6 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--stages", nargs="+", type=int, default=[2, 4, 6, 8], help="figure6 stage counts"
     )
     batch.add_argument("--methods", nargs="+", default=["unfolding-approx", "sg-explicit"])
+    batch.add_argument(
+        "--engine",
+        choices=("explicit", "bdd"),
+        default=None,
+        help="state-space backend for the SG methods (table1 only)",
+    )
     batch.add_argument(
         "--jobs", type=int, default=None, help="worker processes (default: all cores)"
     )
@@ -118,7 +131,17 @@ def build_parser() -> argparse.ArgumentParser:
         "specs", nargs="+", help="paths to .g files or built-in benchmark names"
     )
     csc.add_argument(
+        "--engine",
+        choices=("explicit", "bdd"),
+        default="explicit",
+        help="state-space backend for conflict detection (resolution, when "
+        "requested, always works on the explicit graph)",
+    )
+    csc.add_argument(
         "--max-signals", type=int, default=3, help="insertion budget per specification"
+    )
+    csc.add_argument(
+        "--max-states", type=int, default=None, help="reachable-state budget"
     )
     csc.add_argument(
         "--no-resolve", action="store_true", help="only report conflicts, do not insert"
@@ -201,14 +224,18 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     entries = None
     if args.benchmarks:
         entries = [benchmark_by_name(name) for name in args.benchmarks]
+    methods = apply_engine(args.methods, args.engine)
     rows = run_table1(
         entries=entries,
-        methods=args.methods,
+        methods=methods,
         conformance=not args.no_conformance,
         resolve_encoding=args.resolve_encoding,
+        engine=args.engine,
     )
     columns = ["benchmark", "signals", "UnfTim", "SynTim", "EspTim", "TotTim", "LitCnt"]
-    for method in args.methods:
+    if any(method.startswith("sg-") for method in methods):
+        columns.insert(2, "engine")
+    for method in methods:
         if method != "unfolding-approx":
             columns += ["%s_total" % method, "%s_literals" % method]
     if args.resolve_encoding:
@@ -228,16 +255,20 @@ def _cmd_figure6(args: argparse.Namespace) -> int:
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     if args.kind == "table1":
+        methods = apply_engine(args.methods, args.engine)
         rows = run_table1_batch(
             names=args.benchmarks or None,
-            methods=args.methods,
+            methods=methods,
             jobs=args.jobs,
             task_timeout=args.timeout,
             conformance=not args.no_conformance,
             resolve_encoding=args.resolve_encoding,
+            engine=args.engine,
         )
         columns = ["benchmark", "signals", "TotTim", "LitCnt"]
-        for method in args.methods:
+        if any(method.startswith("sg-") for method in methods):
+            columns.insert(2, "engine")
+        for method in methods:
             if method != "unfolding-approx":
                 columns += ["%s_total" % method, "%s_literals" % method]
         if args.resolve_encoding:
@@ -277,7 +308,7 @@ def _cmd_counterflow(_args: argparse.Namespace) -> int:
 
 def _cmd_csc(args: argparse.Namespace) -> int:
     from .encoding import resolve_csc
-    from .stategraph import build_state_graph, check_csc
+    from .spaces import build_state_space
 
     if args.output and len(args.specs) > 1:
         raise SystemExit("--output requires a single specification")
@@ -286,11 +317,16 @@ def _cmd_csc(args: argparse.Namespace) -> int:
     for spec in args.specs:
         stg = _load_stg(spec)
         output_stg = stg
-        graph = build_state_graph(stg)
-        before = check_csc(graph)
+        # Conflict detection runs on the requested engine; with --engine bdd
+        # the reachable set, state count and CSC verdict are all computed
+        # symbolically, so specifications far beyond the explicit budget can
+        # still be *checked*.
+        space = build_state_space(stg, engine=args.engine, max_states=args.max_states)
+        before = space.check_csc()
         row = {
             "benchmark": stg.name,
-            "states": graph.num_states,
+            "engine": space.engine,
+            "states": space.num_states,
             "conflicts": before.num_conflicts,
         }
         if args.no_resolve or before.satisfied:
@@ -299,8 +335,15 @@ def _cmd_csc(args: argparse.Namespace) -> int:
             if not before.satisfied:
                 unresolved.append(stg.name)
         else:
+            # Signal insertion rewrites the explicit graph; reuse the one we
+            # already built when the explicit engine did the detection.
+            graph = space.explicit_graph
             result = resolve_csc(
-                stg, graph, max_signals=args.max_signals, seed=args.seed
+                stg,
+                graph,
+                max_signals=args.max_signals,
+                seed=args.seed,
+                max_states=args.max_states,
             )
             row["inserted"] = ",".join(result.inserted)
             row["conflicts_after"] = result.conflicts_after
@@ -318,8 +361,8 @@ def _cmd_csc(args: argparse.Namespace) -> int:
             write_g_file(output_stg, args.output)
         rows.append(row)
     columns = [
-        "benchmark", "states", "conflicts", "inserted", "conflicts_after",
-        "resolved_states", "seconds", "resolved",
+        "benchmark", "engine", "states", "conflicts", "inserted",
+        "conflicts_after", "resolved_states", "seconds", "resolved",
     ]
     print(format_table(rows, columns))
     if args.output:

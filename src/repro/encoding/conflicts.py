@@ -12,11 +12,18 @@ same class may keep sharing a code forever.
 Everything is stored packed: a set of states is one int over state indices
 (bit ``s`` = state ``s``), a signature is one int over signal indices, so
 scoring a candidate insertion region against a core is pure mask algebra.
+
+:func:`conflict_cores` accepts the :class:`repro.spaces.StateSpace`
+protocol as well as a raw :class:`StateGraph`.  An explicit space is
+unwrapped to its graph (cores carry state masks, ready for insertion-region
+scoring); a symbolic space contributes *group sizes* instead of masks --
+enough for conflict reporting and pair counting, while mask-level scoring
+(and therefore resolution) remains an explicit-engine operation by nature.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core import popcount
 from ..stategraph import StateGraph
@@ -32,38 +39,47 @@ class ConflictCore:
     code_word:
         The shared packed binary code.
     states_mask:
-        Packed mask over state indices of every state carrying the code.
+        Packed mask over state indices of every state carrying the code
+        (``None`` for cores built by a symbolic engine, which has no state
+        indices).
     groups:
-        One packed state mask per distinct excitation signature; the core is
-        resolved when every pair of states drawn from two different groups
-        has been given distinct codes.
+        One packed state mask per distinct excitation signature (``None``
+        in symbolic cores); the core is resolved when every pair of states
+        drawn from two different groups has been given distinct codes.
+    group_sizes:
+        Number of states per signature class (parallel to ``signatures``);
+        available for both engines.
     signatures:
         The packed excitation signature of each group (parallel to
         ``groups``), kept for diagnostics.
     """
 
-    __slots__ = ("code_word", "states_mask", "groups", "signatures")
+    __slots__ = ("code_word", "states_mask", "groups", "group_sizes", "signatures")
 
     def __init__(
         self,
         code_word: int,
-        states_mask: int,
-        groups: List[int],
+        states_mask: Optional[int],
+        groups: Optional[List[int]],
         signatures: List[int],
+        group_sizes: Optional[List[int]] = None,
     ) -> None:
         self.code_word = code_word
         self.states_mask = states_mask
         self.groups = groups
         self.signatures = signatures
+        if group_sizes is None:
+            group_sizes = [popcount(group) for group in groups or []]
+        self.group_sizes = group_sizes
 
     @property
     def num_states(self) -> int:
-        return popcount(self.states_mask)
+        return sum(self.group_sizes)
 
     @property
     def num_pairs(self) -> int:
         """Number of conflicting state pairs (across different groups)."""
-        sizes = [popcount(group) for group in self.groups]
+        sizes = self.group_sizes
         total = sum(sizes)
         return (total * total - sum(size * size for size in sizes)) // 2
 
@@ -71,16 +87,24 @@ class ConflictCore:
         return "ConflictCore(code=%#x, states=%d, groups=%d)" % (
             self.code_word,
             self.num_states,
-            len(self.groups),
+            len(self.group_sizes),
         )
 
 
-def conflict_cores(graph: StateGraph) -> List[ConflictCore]:
-    """Group the CSC conflicts of a graph into cores, sorted by code word.
+def conflict_cores(graph) -> List[ConflictCore]:
+    """Group the CSC conflicts into cores, sorted by code word.
 
     A core is emitted for every code word whose states fall into at least
     two excitation-signature classes; CSC holds iff no cores exist.
+    ``graph`` may be a :class:`StateGraph` or any
+    :class:`repro.spaces.StateSpace` (see the module docstring).
     """
+    if not isinstance(graph, StateGraph):
+        unwrapped = getattr(graph, "explicit_graph", None)
+        if isinstance(unwrapped, StateGraph):
+            graph = unwrapped
+        else:
+            return _cores_from_signature_groups(graph)
     implementable_mask = graph.signal_table.mask_of(graph.stg.implementable_signals)
     plus = graph._excited_plus
     minus = graph._excited_minus
@@ -114,6 +138,18 @@ def conflict_cores(graph: StateGraph) -> List[ConflictCore]:
     return cores
 
 
+def _cores_from_signature_groups(space) -> List[ConflictCore]:
+    """Cores from a state space's engine-independent signature groups."""
+    cores: List[ConflictCore] = []
+    for code_word, groups in sorted(space.signature_groups().items()):
+        signatures = [signature for signature, _count in groups]
+        sizes = [count for _signature, count in groups]
+        cores.append(
+            ConflictCore(code_word, None, None, signatures, group_sizes=sizes)
+        )
+    return cores
+
+
 def num_conflict_pairs(cores: List[ConflictCore]) -> int:
     """Total number of conflicting state pairs across all cores."""
     return sum(core.num_pairs for core in cores)
@@ -127,6 +163,11 @@ def separation_gain(core: ConflictCore, mask_on: int) -> int:
     pairs drawn from different signature groups count -- separating two
     states that already imply the same behaviour buys nothing.
     """
+    if core.groups is None:
+        raise TypeError(
+            "separation_gain needs mask-level cores; build them from the "
+            "explicit engine (symbolic cores carry only group sizes)"
+        )
     inside = [popcount(group & mask_on) for group in core.groups]
     outside = [popcount(group & ~mask_on) for group in core.groups]
     total_in = sum(inside)

@@ -15,6 +15,7 @@ from .batch import (
 from .experiments import (
     DEFAULT_METHODS,
     Table1Row,
+    apply_engine,
     format_table,
     run_counterflow,
     run_figure6,
@@ -24,6 +25,7 @@ from .experiments import (
 __all__ = [
     "DEFAULT_METHODS",
     "Table1Row",
+    "apply_engine",
     "format_table",
     "row_outcome",
     "run_counterflow",

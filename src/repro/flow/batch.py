@@ -72,6 +72,7 @@ def _table1_row_task(args: Dict[str, object]) -> Dict[str, object]:
         conformance_max_states=args["conformance_max_states"],
         timeout=args["timeout"],
         resolve_encoding=args.get("resolve_encoding", False),
+        engine=args.get("engine"),
     )
     return dict(rows[0])
 
@@ -188,13 +189,15 @@ def run_table1_batch(
     conformance: bool = True,
     conformance_max_states: Optional[int] = 100000,
     resolve_encoding: bool = False,
+    engine: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """Run Table 1 rows in parallel, one benchmark per worker process.
 
     Returns the same merged rows as the serial :func:`run_table1` (plus the
     aggregate ``outcome`` column), in suite order; ``resolve_encoding``
     threads the CSC-resolution pass (and its ``csc_signals_added`` /
-    ``csc_resolved`` columns) into every worker.
+    ``csc_resolved`` columns) into every worker and ``engine`` retargets
+    the SG methods onto one state-space backend in every worker.
     """
     if names is None:
         names = [entry.name for entry in table1_suite()]
@@ -207,6 +210,7 @@ def run_table1_batch(
             "conformance_max_states": conformance_max_states,
             "timeout": task_timeout,
             "resolve_encoding": resolve_encoding,
+            "engine": engine,
         }
         for name in names
     ]

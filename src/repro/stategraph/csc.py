@@ -55,13 +55,34 @@ class CSCReport:
         )
 
 
+def _as_space_report(graph, kind: str):
+    """Dispatch to the state-space protocol when given a StateSpace.
+
+    ``check_usc`` / ``check_csc`` accept either a concrete
+    :class:`StateGraph` (returning the historical pair-level
+    :class:`CSCReport`) or any :class:`repro.spaces.StateSpace` (returning
+    its engine-independent :class:`~repro.spaces.CodingReport`, which
+    exposes the same ``satisfied`` / ``num_conflicts`` surface).  The
+    import is lazy because :mod:`repro.spaces` builds on this module.
+    """
+    from ..spaces.base import StateSpace
+
+    if isinstance(graph, StateSpace):
+        return graph.check_usc() if kind == "USC" else graph.check_csc()
+    return None
+
+
 def check_usc(graph: StateGraph) -> CSCReport:
     """Check Unique State Coding: every reachable marking has a unique code.
 
     Conflict pairs are reported sorted (``(low, high)`` per pair, pairs in
     lexicographic order) so reports are deterministic and directly
-    comparable across state-graph engines.
+    comparable across state-graph engines.  Accepts a
+    :class:`~repro.spaces.StateSpace` as well (see :func:`_as_space_report`).
     """
+    report = _as_space_report(graph, "USC")
+    if report is not None:
+        return report
     by_code: Dict[int, List[int]] = {}
     for state, code in enumerate(graph.packed_codes):
         by_code.setdefault(code, []).append(state)
@@ -84,8 +105,13 @@ def check_csc(graph: StateGraph) -> CSCReport:
     States are bucketed by packed code, and the excitation signature of a
     state is its ``(excited_plus | excited_minus)`` bitmask restricted to
     implementable signals -- an int comparison instead of set algebra.
-    Conflict pairs are reported sorted, like :func:`check_usc`.
+    Conflict pairs are reported sorted, like :func:`check_usc`; a
+    :class:`~repro.spaces.StateSpace` argument is dispatched to the
+    protocol.
     """
+    report = _as_space_report(graph, "CSC")
+    if report is not None:
+        return report
     implementable_mask = graph.signal_table.mask_of(graph.stg.implementable_signals)
     by_code: Dict[int, List[int]] = {}
     for state, code in enumerate(graph.packed_codes):

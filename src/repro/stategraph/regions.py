@@ -41,8 +41,28 @@ __all__ = [
 ]
 
 
+def _as_graph(graph) -> StateGraph:
+    """Unwrap a state space to its explicit graph.
+
+    Region extraction at *state index* granularity is inherently explicit:
+    an :class:`~repro.spaces.ExplicitStateSpace` is unwrapped to its
+    :class:`StateGraph`; a symbolic space has no state indices to offer and
+    is rejected with a pointer to the protocol-level cover/code queries.
+    """
+    if isinstance(graph, StateGraph):
+        return graph
+    wrapped = getattr(graph, "explicit_graph", None)
+    if isinstance(wrapped, StateGraph):
+        return wrapped
+    raise TypeError(
+        "state-index regions need an explicit engine; use the StateSpace "
+        "cover/code queries (on_cover, er_codes, ...) for %r" % type(graph).__name__
+    )
+
+
 def excitation_region(graph: StateGraph, signal: str, direction: Direction) -> Set[int]:
     """States where a transition ``signal``/``direction`` is enabled."""
+    graph = _as_graph(graph)
     bit = 1 << graph.signal_table.index(signal)
     masks = (
         graph._excited_plus if direction is Direction.PLUS else graph._excited_minus
@@ -52,6 +72,7 @@ def excitation_region(graph: StateGraph, signal: str, direction: Direction) -> S
 
 def quiescent_region(graph: StateGraph, signal: str, value: int) -> Set[int]:
     """States where the signal is stable at ``value``."""
+    graph = _as_graph(graph)
     bit = 1 << graph.signal_table.index(signal)
     wanted = bit if value else 0
     masks = graph._excited_minus if value == 1 else graph._excited_plus
@@ -65,12 +86,14 @@ def quiescent_region(graph: StateGraph, signal: str, value: int) -> Set[int]:
 
 def on_set_states(graph: StateGraph, signal: str) -> Set[int]:
     """States whose implied next value of the signal is 1."""
+    graph = _as_graph(graph)
     bit = 1 << graph.signal_table.index(signal)
     return {state for state in range(graph.num_states) if graph.implied_word(state) & bit}
 
 
 def off_set_states(graph: StateGraph, signal: str) -> Set[int]:
     """States whose implied next value of the signal is 0."""
+    graph = _as_graph(graph)
     bit = 1 << graph.signal_table.index(signal)
     return {
         state
@@ -86,6 +109,7 @@ def states_to_cover(graph: StateGraph, states: Iterable[int]) -> Cover:
     is two masks (``ones = code``, ``zeros = ~code``) built without touching
     individual bits.
     """
+    graph = _as_graph(graph)
     nvars = len(graph.signals)
     full = (1 << nvars) - 1
     packed = graph.packed_codes
@@ -102,6 +126,7 @@ def states_to_cover(graph: StateGraph, states: Iterable[int]) -> Cover:
 
 def dc_set_cover(graph: StateGraph) -> Cover:
     """Cover of the unreachable binary codes (the don't-care set)."""
+    graph = _as_graph(graph)
     nvars = len(graph.signals)
     full = (1 << nvars) - 1
     reachable = Cover(
@@ -115,6 +140,7 @@ class SignalRegions:
     """All regions of one signal, with covers ready for synthesis."""
 
     def __init__(self, graph: StateGraph, signal: str) -> None:
+        graph = _as_graph(graph)
         self.graph = graph
         self.signal = signal
         bit = 1 << graph.signal_table.index(signal)

@@ -21,6 +21,7 @@ from .generators import (
     choice_controller,
     csc_arbiter,
     csc_conflict_example,
+    muller_pipeline,
     parallel_handshake,
     paper_example,
     figure4_example,
@@ -213,8 +214,34 @@ def example_suite() -> List[BenchmarkEntry]:
 
 
 def benchmark_by_name(name: str) -> BenchmarkEntry:
-    """Look up a benchmark (Table 1 rows plus the hand-written examples)."""
+    """Look up a benchmark (Table 1 rows plus the hand-written examples).
+
+    Parameterised generator families are resolved dynamically:
+    ``muller_pipeline_N`` and ``csc_arbiter_N`` (any positive ``N``) build
+    the corresponding scalable specification, so CLI smoke tests can
+    address sizes like ``muller_pipeline_16`` -- far beyond the default
+    explicit enumeration budget, but routine for the symbolic engine --
+    without a static suite entry per size.
+    """
     for entry in table1_suite() + example_suite():
         if entry.name == name:
             return entry
+    for prefix, family, signals_of in (
+        ("muller_pipeline_", muller_pipeline, lambda n: n + 2),
+        ("csc_arbiter_", csc_arbiter, lambda n: n + 1),
+    ):
+        if name.startswith(prefix):
+            try:
+                size = int(name[len(prefix):])
+            except ValueError:
+                break
+            if size > 0:
+                return BenchmarkEntry(
+                    name,
+                    signals_of(size),
+                    lambda family=family, size=size: family(size),
+                    synthetic=False,
+                    description="parameterised %s family member" % prefix.rstrip("_"),
+                    csc_clean=family is muller_pipeline,
+                )
     raise KeyError("unknown benchmark %r" % name)

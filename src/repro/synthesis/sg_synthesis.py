@@ -1,17 +1,26 @@
-"""State-graph based synthesis (the "SIS-like" / "Petrify-like" baselines).
+"""State-space based synthesis (the "SIS-like" / "Petrify-like" baselines).
 
-This is the conventional flow the paper compares against (Section 2): build
-the State Graph, extract the exact on-set / off-set of every implementable
-signal, use the unreachable codes as don't cares and minimise.  Two state
-space engines are available:
+This is the conventional flow the paper compares against (Section 2):
+compute the reachable state space, extract the exact on-set / off-set of
+every implementable signal, use the unreachable codes as don't cares and
+minimise.  Both baselines now run through the :mod:`repro.spaces` protocol,
+so they share one synthesis code path and differ only in the engine that
+answers the state-space queries:
 
-* ``engine="explicit"`` -- breadth-first reachability (what SIS does),
-* ``engine="bdd"``      -- symbolic reachability with the BDD package
-  (the Petrify-style baseline); the covers are still extracted explicitly,
-  but the fixed point is computed symbolically.
+* ``engine="explicit"`` -- breadth-first enumeration into the packed State
+  Graph (what SIS does);
+* ``engine="bdd"``      -- a genuinely symbolic flow (the Petrify-style
+  baseline): reachability is a BDD fixed point over a characteristic
+  function of markings x codes, CSC is checked by a code-equality product,
+  and the signal covers are extracted by an ISOP pass over the code
+  variables.  The explicit reachable state list is *never* materialised on
+  this path -- which is exactly what the Figure 6 experiment measures when
+  the explicit engine's enumeration blows up.
 
-Both produce identical implementations; they differ only in how the state
-space is traversed, which is what the Figure 6 experiment measures.
+Both engines produce functionally equivalent implementations (the
+equivalence suite in ``tests/test_spaces.py`` checks the underlying sets
+match exactly); cube-level structure may differ because the symbolic flow
+seeds espresso with ISOP covers instead of per-state minterms.
 """
 
 from __future__ import annotations
@@ -20,13 +29,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from ..boolean import BooleanFunction, Cover, Cube, espresso
-from ..stategraph import (
-    SignalRegions,
-    StateGraph,
-    build_state_graph,
-    check_csc,
-    dc_set_cover,
-)
+from ..spaces import StateSpace, build_state_space
 from ..stg import STG
 from ..stg.signals import Direction
 from .netlist import Gate, Implementation
@@ -40,11 +43,13 @@ class SGSynthesisResult:
     def __init__(
         self,
         implementation: Implementation,
-        state_graph: Optional[StateGraph],
+        state_graph,
         build_time: float,
         cover_time: float,
         minimize_time: float,
         num_states: int,
+        space: Optional[StateSpace] = None,
+        engine: str = "explicit",
     ) -> None:
         self.implementation = implementation
         self.state_graph = state_graph
@@ -52,13 +57,16 @@ class SGSynthesisResult:
         self.cover_time = cover_time
         self.minimize_time = minimize_time
         self.num_states = num_states
+        self.space = space
+        self.engine = engine
 
     @property
     def total_time(self) -> float:
         return self.build_time + self.cover_time + self.minimize_time
 
     def __repr__(self) -> str:
-        return "SGSynthesisResult(states=%d, literals=%d, total=%.3fs)" % (
+        return "SGSynthesisResult(engine=%s, states=%d, literals=%d, total=%.3fs)" % (
+            self.engine,
             self.num_states,
             self.implementation.total_literals,
             self.total_time,
@@ -73,7 +81,7 @@ def synthesize_from_sg(
     raise_on_csc: bool = False,
     packed: Optional[bool] = None,
 ) -> SGSynthesisResult:
-    """Synthesise every implementable signal from the explicit State Graph.
+    """Synthesise every implementable signal from the state space.
 
     Parameters
     ----------
@@ -82,22 +90,21 @@ def synthesize_from_sg(
     architecture:
         ``"acg"`` (default), ``"c-element"`` or ``"rs-latch"``.
     engine:
-        ``"explicit"`` or ``"bdd"`` -- which reachability engine to use.
+        ``"explicit"`` or ``"bdd"`` -- which state-space engine to use.
     max_states:
-        Optional state budget (explicit engine only).
+        Optional state budget, honoured by both engines (the explicit one
+        raises while enumerating, the symbolic one from a solution count).
     raise_on_csc:
         When True a CSC conflict raises; otherwise the conflicting signals
         are recorded in ``implementation.csc_conflicts`` and skipped.
     packed:
         Force (``True``) / forbid (``False``) the packed bitmask state-graph
-        engine; defaults to packed whenever the net qualifies.  Used by the
-        equivalence test-suite to compare both representations.
+        engine (explicit engine only); defaults to packed whenever the net
+        qualifies.  Used by the equivalence test-suite to compare both
+        representations.
     """
     start = time.perf_counter()
-    if engine == "bdd":
-        graph = _build_graph_via_bdd(stg, max_states=max_states, packed=packed)
-    else:
-        graph = build_state_graph(stg, max_states=max_states, packed=packed)
+    space = build_state_space(stg, engine=engine, max_states=max_states, packed=packed)
     build_time = time.perf_counter() - start
 
     signals = stg.signals
@@ -106,37 +113,39 @@ def synthesize_from_sg(
     cover_time = 0.0
     minimize_time = 0.0
 
-    csc = check_csc(graph)
-    conflicting_signals = _csc_conflicting_signals(graph, csc)
+    conflicting_signals = space.conflicting_signals()
     if conflicting_signals and raise_on_csc:
         raise ValueError(
             "CSC conflict on signals: %s" % ", ".join(sorted(conflicting_signals))
         )
 
     for signal in stg.implementable_signals:
-        t0 = time.perf_counter()
-        regions = SignalRegions(graph, signal)
-        on_cover = regions.on_cover
-        off_cover = regions.off_cover
-        cover_time += time.perf_counter() - t0
-
         if signal in conflicting_signals:
             implementation.csc_conflicts.append(signal)
             continue
 
+        t0 = time.perf_counter()
+        on_cover = space.on_cover(signal)
+        if architecture != "acg":
+            set_on = space.set_cover(signal)
+            reset_on = space.reset_cover(signal)
+            qr_high = space.quiescent_cover(signal, 1)
+            qr_low = space.quiescent_cover(signal, 0)
+        cover_time += time.perf_counter() - t0
+
         t1 = time.perf_counter()
         if dc is None:
-            dc = dc_set_cover(graph)
+            dc = space.dc_cover()
         if architecture == "acg":
             minimized = espresso(on_cover, dc).cover
             gate = Gate(signal, architecture, function=BooleanFunction(signals, minimized))
         else:
             # For the set (reset) excitation function the quiescent region at
             # 1 (0) is a don't care: the memory element holds the value there.
-            set_dc = dc.union(_stable_cover(graph, regions, value=1))
-            reset_dc = dc.union(_stable_cover(graph, regions, value=0))
-            set_cover = espresso(regions.set_cover, set_dc).cover
-            reset_cover = espresso(regions.reset_cover, reset_dc).cover
+            set_dc = dc.union(qr_high)
+            reset_dc = dc.union(qr_low)
+            set_cover = espresso(set_on, set_dc).cover
+            reset_cover = espresso(reset_on, reset_dc).cover
             gate = Gate(
                 signal,
                 architecture,
@@ -148,52 +157,11 @@ def synthesize_from_sg(
 
     return SGSynthesisResult(
         implementation=implementation,
-        state_graph=graph,
+        state_graph=space.explicit_graph,
         build_time=build_time,
         cover_time=cover_time,
         minimize_time=minimize_time,
-        num_states=graph.num_states,
+        num_states=space.num_states,
+        space=space,
+        engine=space.engine,
     )
-
-
-def _stable_cover(graph: StateGraph, regions: SignalRegions, value: int) -> Cover:
-    """Cover of the states where the signal is stable at ``value``.
-
-    For the C-element / RS-latch architectures the quiescent regions are
-    don't cares for the set and reset excitation functions (the memory
-    element holds the value there).
-    """
-    from ..stategraph.regions import states_to_cover
-
-    states = regions.qr_high if value == 1 else regions.qr_low
-    return states_to_cover(graph, sorted(states))
-
-
-def _csc_conflicting_signals(graph: StateGraph, csc_report) -> set:
-    """Signals whose excitation differs between equal-code states."""
-    conflicting = set()
-    implementable = set(graph.stg.implementable_signals)
-    for left, right in csc_report.conflicts:
-        left_excited = graph.excited_signals(left) & implementable
-        right_excited = graph.excited_signals(right) & implementable
-        conflicting |= left_excited.symmetric_difference(right_excited)
-    return conflicting
-
-
-def _build_graph_via_bdd(
-    stg: STG, max_states: Optional[int] = None, packed: Optional[bool] = None
-) -> StateGraph:
-    """Build the State Graph using the symbolic engine for reachability.
-
-    The BDD engine computes the reachable marking set symbolically; the graph
-    object returned to the caller is then materialised from it so that the
-    downstream cover extraction is identical for both engines.
-    """
-    from ..bdd import symbolic_reachable_markings
-
-    # The symbolic fixed point is computed first (this is what the timing of
-    # the Petrify-like baseline measures); the explicit graph is then rebuilt
-    # for cover extraction, bounded by the now-known state count.
-    markings = symbolic_reachable_markings(stg.net)
-    limit = max_states if max_states is not None else max(len(markings), 1)
-    return build_state_graph(stg, max_states=limit, packed=packed)

@@ -15,7 +15,14 @@ Methods
 ``"sg-explicit"``
     The SIS-like baseline: explicit State Graph + exact covers.
 ``"sg-bdd"``
-    The Petrify-like baseline: symbolic (BDD) reachability + exact covers.
+    The Petrify-like baseline: the fully symbolic state space
+    (:class:`repro.spaces.SymbolicStateSpace`) -- reachability, CSC
+    checking and cover extraction all run on the BDD characteristic
+    function; the explicit state list is never materialised.
+
+The state-space backend of the SG methods can also be chosen uniformly via
+``engine="explicit" | "bdd"`` (the CLI's ``--engine`` flag), which
+overrides the engine implied by the method name.
 """
 
 from __future__ import annotations
@@ -50,6 +57,10 @@ class SynthesisResult:
         segment events (unfolding methods) -- a size indicator for reports.
     details:
         The method-specific result object (kept for ablation studies).
+    engine:
+        The state-space engine that answered the SG queries
+        (``"explicit"`` / ``"bdd"``); ``None`` for the unfolding methods,
+        which never build a state space.
     encoding:
         The :class:`~repro.encoding.resolve.EncodingResult` of the CSC
         resolution pass, when ``resolve_encoding`` was requested and
@@ -66,6 +77,7 @@ class SynthesisResult:
         num_states: int,
         details: object,
         encoding: object = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.method = method
         self.implementation = implementation
@@ -75,6 +87,7 @@ class SynthesisResult:
         self.num_states = num_states
         self.details = details
         self.encoding = encoding
+        self.engine = engine
 
     @property
     def csc_signals_added(self) -> int:
@@ -120,14 +133,18 @@ def synthesize(
     packed: Optional[bool] = None,
     resolve_encoding: bool = False,
     max_csc_signals: int = 3,
+    engine: Optional[str] = None,
 ) -> SynthesisResult:
     """Synthesise a speed-independent implementation of an STG.
 
     See the module docstring for the available methods.  ``max_states``
-    bounds the explicit state exploration of the SG methods so experiments
+    bounds the state space of the SG methods (both engines) so experiments
     can report "did not finish" instead of running out of memory.
     ``packed`` forces/forbids the packed state-graph engine of the SG
     methods (ignored by the unfolding methods, which never build the SG).
+    ``engine`` overrides the state-space backend implied by the SG method
+    name (``"sg-explicit"`` + ``engine="bdd"`` runs symbolically); the
+    unfolding methods ignore it.
 
     With ``resolve_encoding`` the specification's CSC conflicts are first
     resolved by inserting up to ``max_csc_signals`` internal state signals
@@ -150,7 +167,7 @@ def synthesize(
         elif encoding.resolved:
             encoding = None  # already CSC-clean: nothing to report
 
-    result = _dispatch(stg, method, architecture, raise_on_csc, max_states, packed)
+    result = _dispatch(stg, method, architecture, raise_on_csc, max_states, packed, engine)
     result.encoding = encoding
     return result
 
@@ -162,6 +179,7 @@ def _dispatch(
     raise_on_csc: bool,
     max_states: Optional[int],
     packed: Optional[bool],
+    engine: Optional[str] = None,
 ) -> SynthesisResult:
     if method == "unfolding-approx":
         result = synthesize_approx_from_unfolding(
@@ -189,7 +207,8 @@ def _dispatch(
             result.num_recovered_states,
             result,
         )
-    engine = "bdd" if method == "sg-bdd" else "explicit"
+    if engine is None:
+        engine = "bdd" if method == "sg-bdd" else "explicit"
     result = synthesize_from_sg(
         stg,
         architecture=architecture,
@@ -206,4 +225,5 @@ def _dispatch(
         result.minimize_time,
         result.num_states,
         result,
+        engine=result.engine,
     )

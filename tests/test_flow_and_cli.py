@@ -180,3 +180,103 @@ def test_cli_table1_resolve_encoding(capsys):
     out = capsys.readouterr().out
     assert "csc_signals_added" in out
     assert "csc_resolved" in out
+
+
+# ---------------------------------------------------------------------- #
+# State-space engine selection (--engine / engine=)
+# ---------------------------------------------------------------------- #
+def test_apply_engine_retargets_sg_methods():
+    from repro.flow import apply_engine
+
+    assert apply_engine(("unfolding-approx", "sg-explicit"), "bdd") == (
+        "unfolding-approx",
+        "sg-bdd",
+    )
+    # duplicates collapse when both SG methods retarget onto one engine
+    assert apply_engine(("sg-explicit", "sg-bdd"), "explicit") == ("sg-explicit",)
+    assert apply_engine(("sg-explicit",), None) == ("sg-explicit",)
+
+
+def test_run_table1_engine_bdd_reports_engine_columns():
+    rows = run_table1(
+        entries=small_entries()[:1],
+        methods=("unfolding-approx", "sg-explicit"),
+        engine="bdd",
+    )
+    row = rows[0]
+    assert row["engine"] == "bdd"
+    assert row["sg-bdd_outcome"] == "ok"
+    assert row["sg-bdd_engine"] == "bdd"
+    assert "sg-explicit_total" not in row
+    assert row["sg-bdd_literals"] == row["LitCnt"]
+
+
+def test_run_table1_default_engine_is_explicit():
+    rows = run_table1(entries=small_entries()[:1], methods=("sg-explicit",))
+    assert rows[0]["engine"] == "explicit"
+    assert rows[0]["sg-explicit_engine"] == "explicit"
+
+
+def test_cli_table1_engine_bdd(capsys):
+    assert (
+        main(
+            [
+                "table1",
+                "--benchmarks",
+                "nowick",
+                "--methods",
+                "unfolding-approx",
+                "sg-explicit",
+                "--engine",
+                "bdd",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "sg-bdd_total" in out
+    assert "engine" in out
+
+
+def test_cli_csc_symbolic_detection(capsys):
+    assert main(["csc", "vme_read", "--engine", "bdd", "--no-resolve"]) == 0
+    out = capsys.readouterr().out
+    assert "bdd" in out
+    assert "vme_read" in out
+
+
+def test_cli_csc_symbolic_detection_with_resolution(capsys):
+    # detection runs symbolically, the insertion pass falls back to the
+    # explicit graph and still resolves the conflict
+    assert main(["csc", "vme_read", "--engine", "bdd", "--fail-on-unresolved"]) == 0
+    out = capsys.readouterr().out
+    assert "csc0" in out
+
+
+def test_batch_engine_threading():
+    from repro.flow import run_table1_batch
+
+    rows = run_table1_batch(
+        names=["sendr-done"],
+        methods=("sg-explicit",),
+        jobs=1,
+        conformance=False,
+        engine="bdd",
+    )
+    assert rows[0]["engine"] == "bdd"
+    assert rows[0]["sg-bdd_outcome"] == "ok"
+    assert rows[0]["outcome"] == "ok"
+
+
+def test_benchmark_by_name_parameterised_families():
+    entry = benchmark_by_name("muller_pipeline_16")
+    assert entry.expected_signals == 18
+    stg = entry.build()
+    assert stg.num_signals == 18
+    entry = benchmark_by_name("csc_arbiter_6")
+    assert entry.expected_signals == 7
+    assert not entry.csc_clean
+    with pytest.raises(KeyError):
+        benchmark_by_name("muller_pipeline_zero")
+    with pytest.raises(KeyError):
+        benchmark_by_name("muller_pipeline_0")
