@@ -1,0 +1,152 @@
+"""Guard: disabled tracing must stay within 2% of synthesis wall time.
+
+The observability layer promises that instrumented code pays (almost)
+nothing when no tracer is installed: phase call sites enter/exit the
+shared no-op span, and per-iteration call sites are a single ``span.live``
+attribute check.  This benchmark enforces the budget on the reference
+workload of the acceptance criteria -- ``muller_pipeline(8)`` under
+``sg-explicit`` synthesis:
+
+1. time the full synthesis with the default :data:`~repro.obs.NULL_TRACER`
+   installed (the path every untraced user runs);
+2. measure the unit cost of the two disabled-path operations with tight
+   micro-loops;
+3. count how many of each operation the workload actually performs (spans
+   are counted from one traced run; live-checks are bounded by the BFS
+   state/edge counts, the dominant per-iteration guards);
+4. assert ``spans * span_cost + checks * check_cost <= 2%`` of the
+   synthesis time.
+
+Run directly (``python benchmarks/bench_obs_overhead.py``) or via pytest.
+The same check runs in CI.
+"""
+
+import time
+
+from repro.obs import NULL_SPAN, Tracer, current_tracer, set_tracer
+from repro.stg import muller_pipeline
+from repro.synthesis import synthesize
+
+#: Acceptance budget: disabled tracing may cost at most this fraction of
+#: the untraced synthesis wall time.
+MAX_OVERHEAD_FRACTION = 0.02
+
+STAGES = 8
+REPEATS = 3
+MICRO_ITERATIONS = 200_000
+
+
+def _time_synthesis() -> float:
+    """Median untraced sg-explicit synthesis time of muller_pipeline(8)."""
+    stg = muller_pipeline(STAGES)
+    times = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        synthesize(stg, method="sg-explicit")
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def _micro_span_cost() -> float:
+    """Seconds per disabled ``with current_tracer().span(...)`` round trip."""
+    start = time.perf_counter()
+    for _ in range(MICRO_ITERATIONS):
+        with current_tracer().span("noop"):
+            pass
+    return (time.perf_counter() - start) / MICRO_ITERATIONS
+
+
+def _micro_live_check_cost() -> float:
+    """Seconds per disabled ``if span.live:`` guard."""
+    span = NULL_SPAN
+    sink = 0
+    start = time.perf_counter()
+    for _ in range(MICRO_ITERATIONS):
+        if span.live:
+            sink += 1
+    elapsed = time.perf_counter() - start
+    assert sink == 0
+    return elapsed / MICRO_ITERATIONS
+
+
+def _count_instrumentation() -> dict:
+    """Operation counts of the workload, from one traced run."""
+    stg = muller_pipeline(STAGES)
+    tracer = Tracer("overhead-count")
+    previous = set_tracer(tracer)
+    try:
+        synthesize(stg, method="sg-explicit")
+    finally:
+        set_tracer(previous)
+    tracer.finish()
+    spans = sum(1 for _ in tracer.root.walk()) - 1  # exclude the root
+    reach = tracer.root.find("reachability")
+    states = int(reach.counters.get("states", 0)) if reach else 0
+    edges = int(reach.counters.get("edges", 0)) if reach else 0
+    # Per-iteration guards: one per discovered state (depth bookkeeping),
+    # bounded above by one per traversed edge, plus end-of-phase guards.
+    live_checks = states + edges + 4 * max(1, spans)
+    return {"spans": spans, "live_checks": live_checks, "states": states}
+
+
+def measure() -> dict:
+    synthesis_seconds = _time_synthesis()
+    span_cost = _micro_span_cost()
+    check_cost = _micro_live_check_cost()
+    counts = _count_instrumentation()
+    overhead_seconds = (
+        counts["spans"] * span_cost + counts["live_checks"] * check_cost
+    )
+    return {
+        "synthesis_seconds": synthesis_seconds,
+        "span_cost_ns": span_cost * 1e9,
+        "live_check_cost_ns": check_cost * 1e9,
+        "spans": counts["spans"],
+        "live_checks": counts["live_checks"],
+        "states": counts["states"],
+        "overhead_seconds": overhead_seconds,
+        "overhead_fraction": overhead_seconds / synthesis_seconds,
+    }
+
+
+def test_disabled_tracing_overhead_within_budget():
+    result = measure()
+    assert result["overhead_fraction"] <= MAX_OVERHEAD_FRACTION, (
+        "disabled tracing overhead %.3f%% exceeds the %.1f%% budget: %r"
+        % (
+            100.0 * result["overhead_fraction"],
+            100.0 * MAX_OVERHEAD_FRACTION,
+            result,
+        )
+    )
+
+
+def main() -> int:
+    result = measure()
+    print(
+        "muller_pipeline(%d) sg-explicit: %.4fs untraced" % (STAGES, result["synthesis_seconds"])
+    )
+    print(
+        "disabled-path unit costs: span %.0f ns, live-check %.1f ns"
+        % (result["span_cost_ns"], result["live_check_cost_ns"])
+    )
+    print(
+        "workload: %d spans, %d live-checks (%d states)"
+        % (result["spans"], result["live_checks"], result["states"])
+    )
+    print(
+        "estimated overhead: %.6fs = %.3f%% of synthesis (budget %.1f%%)"
+        % (
+            result["overhead_seconds"],
+            100.0 * result["overhead_fraction"],
+            100.0 * MAX_OVERHEAD_FRACTION,
+        )
+    )
+    ok = result["overhead_fraction"] <= MAX_OVERHEAD_FRACTION
+    print("verdict: %s" % ("OK" if ok else "OVER BUDGET"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,7 @@ import pytest
 
 from repro.encoding import resolve_csc
 from repro.flow import format_table, run_table1
+from repro.obs import merge_history, stamp_report
 from repro.stategraph import build_state_graph, check_csc, check_usc
 from repro.stg import csc_arbiter, muller_pipeline, table1_suite
 from repro.synthesis import synthesize
@@ -292,10 +293,24 @@ def main(argv=None):
         unfolding_baseline_seconds=args.unfolding_baseline,
     )
     if args.json:
+        # Stamp the run (ISO timestamp + git revision) and fold it into the
+        # history carried by the existing report file, so `repro-synth
+        # dashboard` can chart the perf evolution across commits.
+        report = stamp_report(report)
+        try:
+            with open(args.output) as handle:
+                existing = json.load(handle)
+        except (OSError, ValueError):
+            existing = None
+        payload = merge_history(
+            report, existing if isinstance(existing, dict) else None
+        )
         with open(args.output, "w") as handle:
-            json.dump(report, handle, indent=2, sort_keys=True)
+            json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print("wrote %s" % args.output)
+        print(
+            "wrote %s (%d run(s) on record)" % (args.output, len(payload["history"]))
+        )
     m8 = report["muller8_sg_explicit"]
     print(
         "muller_pipeline(8) sg-explicit: packed %.3fs / legacy-engine %.3fs"

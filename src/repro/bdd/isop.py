@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from ..obs import current_tracer
 from .manager import BDD
 
 __all__ = ["isop"]
@@ -45,6 +46,8 @@ def isop(bdd: BDD, lower: int, upper: int, bit_of: Dict[str, int]) -> List[Tuple
     for name, bit in bit_of.items():
         level_bit[bdd._level[name]] = bit
     cache: Dict[Tuple[int, int], Tuple[int, Tuple[Tuple[int, int], ...]]] = {}
+    # Recursion-depth high-water mark, reported when tracing is active.
+    depth_stats = [0, 0]  # current depth, max depth
 
     def walk(low: int, up: int) -> Tuple[int, Tuple[Tuple[int, int], ...]]:
         if low == bdd.FALSE:
@@ -55,6 +58,9 @@ def isop(bdd: BDD, lower: int, upper: int, bit_of: Dict[str, int]) -> List[Tuple
         cached = cache.get(key)
         if cached is not None:
             return cached
+        depth_stats[0] += 1
+        if depth_stats[0] > depth_stats[1]:
+            depth_stats[1] = depth_stats[0]
         level = min(bdd._level_of(low), bdd._level_of(up))
         try:
             bit = level_bit[level]
@@ -84,9 +90,16 @@ def isop(bdd: BDD, lower: int, upper: int, bit_of: Dict[str, int]) -> List[Tuple
         )
         result = (cover, cubes)
         cache[key] = result
+        depth_stats[0] -= 1
         return result
 
     if bdd.conj(lower, bdd.negate(upper)) != bdd.FALSE:
         raise ValueError("isop requires lower <= upper")
     _cover, cubes = walk(lower, upper)
+    obs = current_tracer()
+    if obs.enabled:
+        span = obs.current
+        span.counter("isop_calls")
+        span.counter("isop_cubes", len(cubes))
+        span.maximum("isop_max_depth", depth_stats[1])
     return list(cubes)

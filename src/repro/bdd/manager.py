@@ -36,6 +36,29 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 __all__ = ["BDD"]
 
 
+class _CountingCache(dict):
+    """A dict that counts ``get`` lookups and hits.
+
+    Swapped in for the manager's operation caches by :meth:`BDD.enable_stats`
+    so hit rates can be reported when tracing; the default (plain ``dict``)
+    caches keep the hot path entirely untouched.
+    """
+
+    __slots__ = ("lookups", "hits")
+
+    def __init__(self, *args: object) -> None:
+        super().__init__(*args)
+        self.lookups = 0
+        self.hits = 0
+
+    def get(self, key, default=None):
+        self.lookups += 1
+        value = super().get(key, default)
+        if value is not default:
+            self.hits += 1
+        return value
+
+
 class BDD:
     """A BDD manager over a fixed, ordered set of variables."""
 
@@ -59,6 +82,48 @@ class BDD:
         self._and_exists_cache: Dict[Tuple[int, int, int], int] = {}
         self._exists_cache: Dict[Tuple[int, int], int] = {}
         self._forall_cache: Dict[Tuple[int, int], int] = {}
+        self._stats_enabled = False
+
+    # ------------------------------------------------------------------ #
+    # Statistics (opt-in, for repro.obs tracing)
+    # ------------------------------------------------------------------ #
+    def enable_stats(self) -> None:
+        """Swap the operation caches for counting ones.
+
+        Until this is called the caches are plain dicts and the hot path
+        pays nothing; afterwards every memo lookup is counted so
+        :meth:`stats` can report hit rates.  Existing cache contents are
+        preserved.
+        """
+        if self._stats_enabled:
+            return
+        self._ite_cache = _CountingCache(self._ite_cache)
+        self._and_exists_cache = _CountingCache(self._and_exists_cache)
+        self._exists_cache = _CountingCache(self._exists_cache)
+        self._forall_cache = _CountingCache(self._forall_cache)
+        self._stats_enabled = True
+
+    def stats(self) -> Dict[str, object]:
+        """Node count plus per-cache lookup/hit counters.
+
+        Cache hit counters are present only after :meth:`enable_stats`.
+        """
+        report: Dict[str, object] = {
+            "num_nodes": self.num_nodes,
+            "num_variables": len(self.variables),
+            "stats_enabled": self._stats_enabled,
+        }
+        if self._stats_enabled:
+            for name, cache in (
+                ("ite", self._ite_cache),
+                ("and_exists", self._and_exists_cache),
+                ("exists", self._exists_cache),
+                ("forall", self._forall_cache),
+            ):
+                report["%s_cache_entries" % name] = len(cache)
+                report["%s_cache_lookups" % name] = cache.lookups
+                report["%s_cache_hits" % name] = cache.hits
+        return report
 
     # ------------------------------------------------------------------ #
     # Node management

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..obs import current_tracer
 from ..petrinet import Marking, PetriNet, StateSpaceLimitExceeded
 from .manager import BDD
 
@@ -204,31 +205,49 @@ class SymbolicNet:
         if self._reached is not None:
             return self._reached
         bdd = self.bdd
-        reached = self._initial
-        ntrans = len(self.transitions)
-        self.iterations = 0
-        changed = True
-        while changed:
-            self.iterations += 1
-            if self.max_iterations is not None and self.iterations > self.max_iterations:
-                raise RuntimeError(
-                    "symbolic reachability exceeded %d iterations" % self.max_iterations
-                )
-            changed = False
-            for index in range(ntrans):
-                img = self.image(reached, index)
-                if img == bdd.FALSE:
-                    continue
-                union = bdd.disj(reached, img)
-                if union != reached:
-                    reached = union
-                    changed = True
-            if (
-                self.max_states is not None
-                and bdd.count_solutions(reached, self.state_vars) > self.max_states
-            ):
-                raise StateSpaceLimitExceeded(self.max_states)
-        self._reached = reached
+        obs = current_tracer()
+        if obs.enabled:
+            bdd.enable_stats()
+        with obs.span("reachability", engine="bdd", net=self.net.name) as span:
+            reached = self._initial
+            ntrans = len(self.transitions)
+            self.iterations = 0
+            images = 0
+            changed = True
+            while changed:
+                self.iterations += 1
+                if self.max_iterations is not None and self.iterations > self.max_iterations:
+                    raise RuntimeError(
+                        "symbolic reachability exceeded %d iterations" % self.max_iterations
+                    )
+                changed = False
+                for index in range(ntrans):
+                    img = self.image(reached, index)
+                    if img == bdd.FALSE:
+                        continue
+                    union = bdd.disj(reached, img)
+                    if union != reached:
+                        reached = union
+                        changed = True
+                if span.live:
+                    # Per-pass fixpoint stats: manager size after each
+                    # chaining pass over the partitioned relations.
+                    span.append("pass_nodes", bdd.num_nodes)
+                    images += ntrans
+                if (
+                    self.max_states is not None
+                    and bdd.count_solutions(reached, self.state_vars) > self.max_states
+                ):
+                    raise StateSpaceLimitExceeded(self.max_states)
+            self._reached = reached
+            if span.live:
+                span.gauge("fixpoint_passes", self.iterations)
+                span.counter("images_computed", images)
+                span.gauge("bdd_nodes", bdd.num_nodes)
+                span.gauge("bdd_variables", len(bdd.variables))
+                for key, value in bdd.stats().items():
+                    if key.endswith(("_lookups", "_hits", "_entries")):
+                        span.gauge(key, value)
         return reached
 
     # ------------------------------------------------------------------ #

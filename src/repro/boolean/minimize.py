@@ -17,6 +17,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..obs import current_tracer
 from .cover import Cover
 from .cube import Cube
 
@@ -101,6 +102,13 @@ def espresso(
     # Safety: the minimised cover must still cover the original on-set.
     if not current.union(dc).contains_cover(care_on):  # pragma: no cover - guard
         current = care_on.single_cube_containment()
+    obs = current_tracer()
+    if obs.enabled:
+        span = obs.current
+        span.counter("espresso_calls")
+        span.counter("espresso_iterations", iterations)
+        span.counter("espresso_input_cubes", len(on))
+        span.counter("espresso_output_cubes", len(current))
     return MinimizationResult(current, iterations, initial_literals)
 
 

@@ -21,9 +21,11 @@ conformance for every architecture) and export a generated STG::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
+from .obs import Tracer, load_history, render_dashboard, set_tracer, span_summary
 from .flow import (
     apply_engine,
     format_table,
@@ -39,6 +41,22 @@ from .stg import benchmark_by_name, parse_g_file, write_g, write_g_file
 from .synthesis import METHODS, synthesize, verify_implementation
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_obs_flags(command: argparse.ArgumentParser) -> None:
+    """Attach the shared observability flags (see :mod:`repro.obs`)."""
+    command.add_argument(
+        "--trace",
+        dest="trace_path",
+        metavar="FILE",
+        default=None,
+        help="record a span trace of the run and write it as JSON",
+    )
+    command.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect per-phase metrics and print an aggregate summary",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,10 +91,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resolve CSC conflicts by signal insertion before synthesis",
     )
+    table1.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="write the rows (with metrics blobs when collected) to this JSON file",
+    )
+    _add_obs_flags(table1)
 
     fig6 = sub.add_parser("figure6", help="reproduce the Figure 6 scaling experiment")
     fig6.add_argument("--stages", nargs="+", type=int, default=[2, 4, 6, 8, 10])
     fig6.add_argument("--methods", nargs="+", default=["unfolding-approx", "sg-explicit", "sg-bdd"])
+    _add_obs_flags(fig6)
 
     sub.add_parser("counterflow", help="synthesise the 34-signal counterflow stand-in")
 
@@ -122,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resolve CSC conflicts by signal insertion before synthesis (table1 only)",
     )
+    _add_obs_flags(batch)
 
     csc = sub.add_parser(
         "csc",
@@ -158,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the resolved STG as a .g file (single spec only)",
     )
+    _add_obs_flags(csc)
 
     simulate = sub.add_parser(
         "simulate",
@@ -185,10 +213,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally run a seeded random walk of this many events",
     )
     simulate.add_argument("--seed", type=int, default=0, help="random-walk seed")
+    _add_obs_flags(simulate)
 
     export = sub.add_parser("export", help="write a specification as a .g file")
     export.add_argument("spec", help="path to a .g file or a built-in benchmark name")
     export.add_argument("-o", "--output", default=None, help="output path (default: stdout)")
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="render the BENCH_table1.json run history as a markdown dashboard",
+    )
+    dashboard.add_argument(
+        "input",
+        nargs="?",
+        default="BENCH_table1.json",
+        help="benchmark report file (flat or with history; default: BENCH_table1.json)",
+    )
+    dashboard.add_argument(
+        "-o", "--output", default=None, help="output markdown path (default: stdout)"
+    )
+    dashboard.add_argument(
+        "--max-entries", type=int, default=20, help="history rows to show (newest last)"
+    )
     return parser
 
 
@@ -231,6 +277,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         conformance=not args.no_conformance,
         resolve_encoding=args.resolve_encoding,
         engine=args.engine,
+        collect_metrics=args.metrics or bool(args.json_path),
     )
     columns = ["benchmark", "signals", "UnfTim", "SynTim", "EspTim", "TotTim", "LitCnt"]
     if any(method.startswith("sg-") for method in methods):
@@ -243,11 +290,18 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     if not args.no_conformance:
         columns.append("Conf")
     print(format_table(rows, columns))
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump([dict(row) for row in rows], handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("# wrote %s" % args.json_path)
     return 0
 
 
 def _cmd_figure6(args: argparse.Namespace) -> int:
-    rows = run_figure6(stage_counts=args.stages, methods=args.methods)
+    rows = run_figure6(
+        stage_counts=args.stages, methods=args.methods, collect_metrics=args.metrics
+    )
     columns = ["stages", "signals"] + list(args.methods)
     print(format_table(rows, columns))
     return 0
@@ -264,6 +318,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             conformance=not args.no_conformance,
             resolve_encoding=args.resolve_encoding,
             engine=args.engine,
+            collect_metrics=args.metrics,
         )
         columns = ["benchmark", "signals", "TotTim", "LitCnt"]
         if any(method.startswith("sg-") for method in methods):
@@ -281,6 +336,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             methods=args.methods,
             jobs=args.jobs,
             task_timeout=args.timeout,
+            collect_metrics=args.metrics,
         )
         columns = ["stages", "signals"] + list(args.methods)
     columns.append("outcome")
@@ -407,6 +463,20 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    history = load_history(args.input)
+    if not history:
+        raise SystemExit("no benchmark history in %r" % args.input)
+    text = render_dashboard(history, max_entries=args.max_entries)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print("# wrote %s" % args.output)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -419,8 +489,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "csc": _cmd_csc,
         "simulate": _cmd_simulate,
         "export": _cmd_export,
+        "dashboard": _cmd_dashboard,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    trace_path = getattr(args, "trace_path", None)
+    want_metrics = bool(getattr(args, "metrics", False))
+    if not (trace_path or want_metrics):
+        return handler(args)
+    # One process-wide tracer spans the whole command; the instrumented
+    # layers (parse, reachability, covers, csc, conformance...) attach their
+    # spans automatically.  Batch workers run in separate processes and
+    # instead return their metrics inside the merged rows.
+    tracer = Tracer(args.command)
+    previous = set_tracer(tracer)
+    try:
+        status = handler(args)
+    finally:
+        set_tracer(previous)
+        tracer.finish()
+        if want_metrics:
+            print("# metrics %s" % json.dumps(span_summary(tracer.root), sort_keys=True))
+        if trace_path:
+            tracer.write_json(trace_path)
+            print("# wrote trace %s" % trace_path)
+    return status
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ import random
 import time
 from typing import List, Optional
 
+from ..obs import current_tracer
 from ..stategraph import (
     InconsistentSTGError,
     StateGraph,
@@ -137,6 +138,21 @@ def resolve_csc(
         persistency violations, and the final result is checked for
         projection conformance against the original specification.
     """
+    with current_tracer().span("csc", stage="resolve", stg=stg.name) as span:
+        return _resolve_csc(
+            stg, graph, max_signals, seed, max_states, validate, span
+        )
+
+
+def _resolve_csc(
+    stg: STG,
+    graph: Optional[StateGraph],
+    max_signals: int,
+    seed: int,
+    max_states: Optional[int],
+    validate: bool,
+    span,
+) -> EncodingResult:
     start = time.perf_counter()
     if graph is None:
         graph = build_state_graph(stg, max_states=max_states)
@@ -151,6 +167,7 @@ def resolve_csc(
     inserted: List[str] = []
 
     while cores and len(inserted) < max_signals:
+        span.counter("rounds")
         regions = candidate_regions(graph)
         ranked = choose_insertion(graph, cores, regions, rng)
         current_pairs = num_conflict_pairs(cores)
@@ -161,6 +178,7 @@ def resolve_csc(
         # new signal's own excitation can create.
         best = None  # (pairs_after, stg, graph, cores)
         for _gain, region in ranked[:MAX_VALIDATIONS_PER_ROUND]:
+            span.counter("candidates_validated")
             candidate_stg = apply_insertion(stg, region, signal)
             try:
                 candidate_graph = build_state_graph(
@@ -191,6 +209,11 @@ def resolve_csc(
         projection = projection_conforms(
             original_stg, stg, inserted, resolved_graph=graph
         )
+    if span.live:
+        span.gauge("signals_inserted", len(inserted))
+        span.gauge("conflicts_before", conflicts_before)
+        span.gauge("conflicts_after", num_conflict_pairs(cores))
+        span.gauge("resolved", report.satisfied and (projection is None or projection.ok))
     return EncodingResult(
         original_stg=original_stg,
         stg=stg,

@@ -25,10 +25,12 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..stg import benchmark_by_name, table1_suite
 from .experiments import DEFAULT_METHODS, run_figure6, run_table1
@@ -39,6 +41,11 @@ __all__ = [
     "row_outcome",
     "write_batch_json",
 ]
+
+#: Parent-side slack added to every per-row budget, covering the
+#: conformance simulation and result transport (module-level so the test
+#: suite can shrink it when exercising the hung-worker path).
+PARENT_SLACK_SECONDS = 60.0
 
 
 def row_outcome(row: Dict[str, object]) -> str:
@@ -61,6 +68,41 @@ def row_outcome(row: Dict[str, object]) -> str:
     return "ok"
 
 
+def _partial_writer(path: Optional[str]) -> Optional[Callable[[Dict[str, object]], None]]:
+    """Progress callback persisting row snapshots for the timeout backstop.
+
+    Each call atomically replaces ``path`` with the row's current state
+    (write to a sibling temp file, then ``os.replace``), so the parent can
+    recover whatever per-method timings/metrics a deadline-blown worker had
+    already collected -- a torn half-written file is impossible.
+    """
+    if path is None:
+        return None
+
+    def write(row: Dict[str, object]) -> None:
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(dict(row), handle)
+            os.replace(tmp, path)
+        except OSError:
+            pass  # progress persistence is best-effort
+
+    return write
+
+
+def _read_partial(path: Optional[str]) -> Dict[str, object]:
+    """Last persisted snapshot of a row, or an empty dict."""
+    if path is None:
+        return {}
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    return payload if isinstance(payload, dict) else {}
+
+
 def _table1_row_task(args: Dict[str, object]) -> Dict[str, object]:
     """Worker: one Table 1 row, addressed by benchmark name (picklable)."""
     entry = benchmark_by_name(args["name"])
@@ -73,6 +115,8 @@ def _table1_row_task(args: Dict[str, object]) -> Dict[str, object]:
         timeout=args["timeout"],
         resolve_encoding=args.get("resolve_encoding", False),
         engine=args.get("engine"),
+        collect_metrics=args.get("collect_metrics", False),
+        progress=_partial_writer(args.get("partial_path")),
     )
     return dict(rows[0])
 
@@ -85,6 +129,8 @@ def _figure6_row_task(args: Dict[str, object]) -> Dict[str, object]:
         method_limits=args["method_limits"],
         max_states=args["max_states"],
         timeout=args["timeout"],
+        collect_metrics=args.get("collect_metrics", False),
+        progress=_partial_writer(args.get("partial_path")),
     )
     return dict(rows[0])
 
@@ -108,6 +154,12 @@ def _run_batch(
     if jobs is None:
         jobs = os.cpu_count() or 1
     jobs = max(1, min(jobs, len(task_args) or 1))
+    # Side channel for partial rows: workers persist row snapshots here, so
+    # a parent-side deadline still recovers the timings/metrics collected
+    # before the worker was abandoned (the future itself repays nothing).
+    partial_dir = tempfile.mkdtemp(prefix="repro-batch-")
+    for index, args in enumerate(task_args):
+        args["partial_path"] = os.path.join(partial_dir, "%d.json" % index)
     rows: List[Dict[str, object]] = []
     deadline = None
     deadline_cap = None
@@ -118,7 +170,7 @@ def _run_batch(
         # Hung workers may extend the deadline (see below), but never past
         # one extra per-row budget per row, keeping the worst-case wall
         # clock linear in the batch size even when every slot is wedged.
-        per_row = task_timeout * max(1, methods_per_row) + 60.0
+        per_row = task_timeout * max(1, methods_per_row) + PARENT_SLACK_SECONDS
         waves = (len(task_args) + jobs - 1) // jobs
         deadline = time.monotonic() + per_row * max(1, waves)
         deadline_cap = deadline + per_row * len(task_args)
@@ -136,7 +188,11 @@ def _run_batch(
             except FutureTimeoutError:
                 hung = True
                 hang_count += 1
+                # Merge whatever the worker managed to persist before it was
+                # abandoned: per-method timings/metrics of completed methods
+                # survive even though the row as a whole timed out.
                 row = dict(placeholder)
+                row.update(_read_partial(task_args[index].get("partial_path")))
                 row["outcome"] = "timeout"
                 rows.append(row)
                 if deadline is not None:
@@ -168,6 +224,7 @@ def _run_batch(
             row["outcome"] = row_outcome(row)
             rows.append(row)
     finally:
+        shutil.rmtree(partial_dir, ignore_errors=True)
         if hung:
             # A worker blew even the generous parent budget: waiting for it
             # (as pool shutdown normally would) could block forever, so the
@@ -190,6 +247,7 @@ def run_table1_batch(
     conformance_max_states: Optional[int] = 100000,
     resolve_encoding: bool = False,
     engine: Optional[str] = None,
+    collect_metrics: bool = False,
 ) -> List[Dict[str, object]]:
     """Run Table 1 rows in parallel, one benchmark per worker process.
 
@@ -198,6 +256,8 @@ def run_table1_batch(
     threads the CSC-resolution pass (and its ``csc_signals_added`` /
     ``csc_resolved`` columns) into every worker and ``engine`` retargets
     the SG methods onto one state-space backend in every worker.
+    ``collect_metrics`` activates a per-worker tracer so every row carries
+    ``<method>_metrics`` blobs (see :mod:`repro.obs`).
     """
     if names is None:
         names = [entry.name for entry in table1_suite()]
@@ -211,6 +271,7 @@ def run_table1_batch(
             "timeout": task_timeout,
             "resolve_encoding": resolve_encoding,
             "engine": engine,
+            "collect_metrics": collect_metrics,
         }
         for name in names
     ]
@@ -227,6 +288,7 @@ def run_figure6_batch(
     jobs: Optional[int] = None,
     task_timeout: Optional[float] = None,
     max_states: Optional[int] = 300000,
+    collect_metrics: bool = False,
 ) -> List[Dict[str, object]]:
     """Run Figure 6 rows in parallel, one stage count per worker process."""
     task_args = [
@@ -236,6 +298,7 @@ def run_figure6_batch(
             "method_limits": method_limits,
             "max_states": max_states,
             "timeout": task_timeout,
+            "collect_metrics": collect_metrics,
         }
         for stages in stage_counts
     ]

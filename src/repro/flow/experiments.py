@@ -15,10 +15,12 @@ used from the pytest-benchmark harness, the CLI and EXPERIMENTS.md alike.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs import current_tracer, span_summary, tracing
 from ..sim import simulate_implementation
 from ..stg import BenchmarkEntry, counterflow_pipeline, muller_pipeline, table1_suite
 from ..synthesis import synthesize
@@ -104,17 +106,40 @@ def _run_timed(task, timeout: Optional[float]) -> Tuple[Optional[object], float,
 
 
 def _synthesize_timed(
-    stg, method: str, max_states: Optional[int], timeout: Optional[float]
+    stg,
+    method: str,
+    max_states: Optional[int],
+    timeout: Optional[float],
+    metrics_box: Optional[Dict[str, object]] = None,
 ) -> Tuple[Optional[object], float, str]:
-    """Run one synthesis under an optional wall-clock budget."""
+    """Run one synthesis under an optional wall-clock budget.
+
+    With ``metrics_box`` the synthesis runs inside an observability span and
+    the box gains a ``method`` -> metrics-blob entry (see
+    :func:`repro.obs.span_summary`) when a tracer is active.  The blob is
+    written from whichever thread ran the task, so it survives even when the
+    timeout harness abandons the worker thread after the deadline.
+    """
     work_stg = stg if timeout is None else stg.copy()
-    return _run_timed(
-        lambda: synthesize(work_stg, method=method, max_states=max_states), timeout
-    )
+    if metrics_box is None:
+        task = lambda: synthesize(work_stg, method=method, max_states=max_states)
+    else:
+
+        def task():
+            with current_tracer().span("method", method=method) as span:
+                result = synthesize(work_stg, method=method, max_states=max_states)
+            if span.live:
+                metrics_box[method] = span_summary(span)
+            return result
+
+    return _run_timed(task, timeout)
 
 
 def _resolve_timed(
-    stg, max_states: Optional[int], timeout: Optional[float]
+    stg,
+    max_states: Optional[int],
+    timeout: Optional[float],
+    metrics_box: Optional[Dict[str, object]] = None,
 ) -> Tuple[Optional[object], float, str]:
     """Run one CSC resolution under the same wall-clock regime as synthesis.
 
@@ -124,7 +149,18 @@ def _resolve_timed(
     from ..encoding import resolve_csc
 
     work_stg = stg if timeout is None else stg.copy()
-    return _run_timed(lambda: resolve_csc(work_stg, max_states=max_states), timeout)
+    if metrics_box is None:
+        task = lambda: resolve_csc(work_stg, max_states=max_states)
+    else:
+
+        def task():
+            with current_tracer().span("method", method="csc-resolve") as span:
+                result = resolve_csc(work_stg, max_states=max_states)
+            if span.live:
+                metrics_box["csc"] = span_summary(span)
+            return result
+
+    return _run_timed(task, timeout)
 
 
 def run_table1(
@@ -136,6 +172,8 @@ def run_table1(
     timeout: Optional[float] = None,
     resolve_encoding: bool = False,
     engine: Optional[str] = None,
+    collect_metrics: bool = False,
+    progress: Optional[Callable[[Dict[str, object]], None]] = None,
 ) -> List[Table1Row]:
     """Reproduce Table 1 on the benchmark suite.
 
@@ -171,10 +209,24 @@ def run_table1(
     (see :func:`apply_engine`); every row reports the backend in its
     ``engine`` column, plus a per-method ``<method>_engine`` column for the
     SG methods.
+
+    With ``collect_metrics`` every row gains ``<method>_metrics`` blobs
+    (elapsed / peak RSS / subtree counters / per-phase times, see
+    :func:`repro.obs.span_summary`) plus ``csc_metrics`` and
+    ``conformance_metrics``; a local tracer is activated for the duration
+    of the run when none is already installed (e.g. via ``--trace``).
+    ``progress`` is called with the row dict after every completed method
+    and again once the row is final -- the batch runner uses it to persist
+    partial rows across worker-process deadlines.
     """
     if entries is None:
         entries = table1_suite()
     methods = apply_engine(methods, engine)
+    own_tracer = (
+        tracing("table1")
+        if collect_metrics and not current_tracer().enabled
+        else contextlib.nullcontext()
+    )
     # The row-level engine column reflects the backends the SG methods of
     # this run actually use (e.g. "bdd/explicit" when both baselines run),
     # never a default that could contradict the per-method columns.
@@ -183,81 +235,107 @@ def run_table1(
     )
     row_engine = engine or ("/".join(sg_engines) if sg_engines else None)
     rows: List[Table1Row] = []
-    for entry in entries:
-        stg = entry.build()
-        row = Table1Row(
-            benchmark=entry.name,
-            signals=stg.num_signals,
-            synthetic=entry.synthetic,
-            paper_literals=entry.paper_literals,
-            paper_total_time=entry.paper_total_time,
-        )
-        if row_engine is not None:
-            row["engine"] = row_engine
-        # One shared resolution pass per row: the pass is deterministic, so
-        # every method synthesises the same rewritten specification (and the
-        # conformance simulation runs against it too).
-        encoding = None
-        method_stg = stg
-        if resolve_encoding:
-            encoding, _elapsed, resolve_outcome = _resolve_timed(
-                stg, max_states, timeout
-            )
-            row["csc_outcome"] = resolve_outcome
-            if encoding is not None and encoding.inserted:
-                method_stg = encoding.stg
-        row["csc_signals_added"] = (
-            encoding.num_inserted if encoding is not None else 0
-        )
-
-        simulated: Optional[object] = None
-        simulated_method: Optional[str] = None
-        for method in methods:
-            result, elapsed, outcome = _synthesize_timed(
-                method_stg, method, max_states, timeout
-            )
-            prefix = method
-            row["%s_outcome" % prefix] = outcome
-            if result is None:
-                row["%s_total" % prefix] = None
-                row["%s_literals" % prefix] = None
-                continue
-            if not result.implementation.has_csc_conflict and (
-                simulated is None or method == "unfolding-approx"
-            ):
-                simulated = result.implementation
-                simulated_method = method
-                row["csc_resolved"] = result.csc_resolved
-            if "csc_resolved" not in row:
-                row["csc_resolved"] = result.csc_resolved
-            if method == "unfolding-approx":
-                row["UnfTim"] = round(result.unfold_time, 4)
-                row["SynTim"] = round(result.cover_time, 4)
-                row["EspTim"] = round(result.minimize_time, 4)
-                row["TotTim"] = round(result.total_time, 4)
-                row["LitCnt"] = result.literal_count
-            row["%s_total" % prefix] = round(result.total_time, 4)
-            row["%s_literals" % prefix] = result.literal_count
-            if result.engine is not None:
-                row["%s_engine" % prefix] = result.engine
-        if "csc_resolved" not in row:
-            # Every method failed: fall back to the resolution pass verdict.
-            row["csc_resolved"] = encoding.resolved if encoding is not None else False
-        if conformance:
-            if simulated is None:
-                row["Conf"] = None
-            else:
-                row["Conf_method"] = simulated_method
-                try:
-                    exploration = simulate_implementation(
-                        method_stg, simulated, max_states=conformance_max_states
+    with own_tracer:
+        obs = current_tracer()
+        boxes = collect_metrics and obs.enabled
+        for entry in entries:
+            with obs.span("table1_row", benchmark=entry.name):
+                stg = entry.build()
+                row = Table1Row(
+                    benchmark=entry.name,
+                    signals=stg.num_signals,
+                    synthetic=entry.synthetic,
+                    paper_literals=entry.paper_literals,
+                    paper_total_time=entry.paper_total_time,
+                )
+                if row_engine is not None:
+                    row["engine"] = row_engine
+                metrics_box: Optional[Dict[str, object]] = {} if boxes else None
+                # One shared resolution pass per row: the pass is
+                # deterministic, so every method synthesises the same
+                # rewritten specification (and the conformance simulation
+                # runs against it too).
+                encoding = None
+                method_stg = stg
+                if resolve_encoding:
+                    encoding, _elapsed, resolve_outcome = _resolve_timed(
+                        stg, max_states, timeout, metrics_box
                     )
-                    row["Conf"] = exploration.verdict()
-                    row["sim_states"] = exploration.num_states
-                except Exception as exc:
-                    row["Conf"] = "error"
-                    row["Conf_error"] = "%s: %s" % (type(exc).__name__, exc)
-        rows.append(row)
+                    row["csc_outcome"] = resolve_outcome
+                    if metrics_box is not None and "csc" in metrics_box:
+                        row["csc_metrics"] = metrics_box["csc"]
+                    if encoding is not None and encoding.inserted:
+                        method_stg = encoding.stg
+                row["csc_signals_added"] = (
+                    encoding.num_inserted if encoding is not None else 0
+                )
+
+                simulated: Optional[object] = None
+                simulated_method: Optional[str] = None
+                for method in methods:
+                    result, elapsed, outcome = _synthesize_timed(
+                        method_stg, method, max_states, timeout, metrics_box
+                    )
+                    prefix = method
+                    row["%s_outcome" % prefix] = outcome
+                    if metrics_box is not None and method in metrics_box:
+                        row["%s_metrics" % prefix] = metrics_box[method]
+                    if result is None:
+                        row["%s_total" % prefix] = None
+                        row["%s_literals" % prefix] = None
+                        if progress is not None:
+                            progress(row)
+                        continue
+                    if not result.implementation.has_csc_conflict and (
+                        simulated is None or method == "unfolding-approx"
+                    ):
+                        simulated = result.implementation
+                        simulated_method = method
+                        row["csc_resolved"] = result.csc_resolved
+                    if "csc_resolved" not in row:
+                        row["csc_resolved"] = result.csc_resolved
+                    if method == "unfolding-approx":
+                        row["UnfTim"] = round(result.unfold_time, 4)
+                        row["SynTim"] = round(result.cover_time, 4)
+                        row["EspTim"] = round(result.minimize_time, 4)
+                        row["TotTim"] = round(result.total_time, 4)
+                        row["LitCnt"] = result.literal_count
+                    row["%s_total" % prefix] = round(result.total_time, 4)
+                    row["%s_literals" % prefix] = result.literal_count
+                    if result.engine is not None:
+                        row["%s_engine" % prefix] = result.engine
+                    if progress is not None:
+                        progress(row)
+                if "csc_resolved" not in row:
+                    # Every method failed: fall back to the resolution verdict.
+                    row["csc_resolved"] = (
+                        encoding.resolved if encoding is not None else False
+                    )
+                if conformance:
+                    if simulated is None:
+                        row["Conf"] = None
+                    else:
+                        row["Conf_method"] = simulated_method
+                        with obs.span("conformance_check") as conf_span:
+                            try:
+                                exploration = simulate_implementation(
+                                    method_stg,
+                                    simulated,
+                                    max_states=conformance_max_states,
+                                )
+                                row["Conf"] = exploration.verdict()
+                                row["sim_states"] = exploration.num_states
+                            except Exception as exc:
+                                row["Conf"] = "error"
+                                row["Conf_error"] = "%s: %s" % (
+                                    type(exc).__name__,
+                                    exc,
+                                )
+                        if boxes and conf_span.live:
+                            row["conformance_metrics"] = span_summary(conf_span)
+            rows.append(row)
+            if progress is not None:
+                progress(row)
     return rows
 
 
@@ -268,6 +346,8 @@ def run_figure6(
     max_states: Optional[int] = 300000,
     timeout: Optional[float] = None,
     engine: Optional[str] = None,
+    collect_metrics: bool = False,
+    progress: Optional[Callable[[Dict[str, object]], None]] = None,
 ) -> List[Dict[str, object]]:
     """Reproduce the Figure 6 scaling experiment on the Muller pipeline.
 
@@ -282,22 +362,40 @@ def run_figure6(
     if method_limits is None:
         method_limits = {"sg-explicit": 12, "sg-bdd": 18, "unfolding-exact": 14}
     methods = apply_engine(methods, engine)
+    own_tracer = (
+        tracing("figure6")
+        if collect_metrics and not current_tracer().enabled
+        else contextlib.nullcontext()
+    )
     rows: List[Dict[str, object]] = []
-    for stages in stage_counts:
-        stg = muller_pipeline(stages)
-        row: Dict[str, object] = {"stages": stages, "signals": stg.num_signals}
-        for method in methods:
-            limit = method_limits.get(method)
-            if limit is not None and stg.num_signals > limit:
-                row[method] = None
-                row["%s_outcome" % method] = "skipped"
-                continue
-            result, elapsed, outcome = _synthesize_timed(stg, method, max_states, timeout)
-            row[method] = round(elapsed, 4) if result is not None else None
-            row["%s_outcome" % method] = outcome
-            if result is not None:
-                row["%s_literals" % method] = result.literal_count
-        rows.append(row)
+    with own_tracer:
+        obs = current_tracer()
+        boxes = collect_metrics and obs.enabled
+        for stages in stage_counts:
+            stg = muller_pipeline(stages)
+            row: Dict[str, object] = {"stages": stages, "signals": stg.num_signals}
+            metrics_box: Optional[Dict[str, object]] = {} if boxes else None
+            with obs.span("figure6_row", stages=stages):
+                for method in methods:
+                    limit = method_limits.get(method)
+                    if limit is not None and stg.num_signals > limit:
+                        row[method] = None
+                        row["%s_outcome" % method] = "skipped"
+                        continue
+                    result, elapsed, outcome = _synthesize_timed(
+                        stg, method, max_states, timeout, metrics_box
+                    )
+                    row[method] = round(elapsed, 4) if result is not None else None
+                    row["%s_outcome" % method] = outcome
+                    if metrics_box is not None and method in metrics_box:
+                        row["%s_metrics" % method] = metrics_box[method]
+                    if result is not None:
+                        row["%s_literals" % method] = result.literal_count
+                    if progress is not None:
+                        progress(row)
+            rows.append(row)
+            if progress is not None:
+                progress(row)
     return rows
 
 

@@ -1,0 +1,68 @@
+"""repro.obs -- zero-dependency tracing, metrics and BENCH dashboards.
+
+The observability layer of the reproduction: a nested-span :class:`Tracer`
+with a thread/process-safe no-op default (instrumented code pays nothing
+when tracing is off), counter/gauge hooks threaded through the explicit
+BFS, the BDD engine, the unfolder and espresso, JSON export with a schema
+validator, and the BENCH history dashboard behind ``repro-synth
+dashboard``.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.tracing("table1") as tracer:
+        run_table1(...)
+    tracer.write_json("trace.json")
+
+Instrumented call sites follow one pattern::
+
+    obs = current_tracer()
+    with obs.span("reachability", engine="bdd") as span:
+        ...
+        if span.live:            # per-iteration work only when tracing
+            span.append("pass_nodes", bdd.num_nodes)
+"""
+
+from .tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    peak_rss_kb,
+    set_tracer,
+    span_summary,
+    tracing,
+)
+from .schema import TRACE_SCHEMA, TraceSchemaError, validate_span, validate_trace
+from .dashboard import (
+    git_short_rev,
+    load_history,
+    merge_history,
+    render_dashboard,
+    stamp_report,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "current_tracer",
+    "set_tracer",
+    "tracing",
+    "span_summary",
+    "peak_rss_kb",
+    "TRACE_SCHEMA",
+    "TraceSchemaError",
+    "validate_trace",
+    "validate_span",
+    "git_short_rev",
+    "stamp_report",
+    "merge_history",
+    "load_history",
+    "render_dashboard",
+]

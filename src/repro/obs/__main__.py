@@ -1,0 +1,13 @@
+"""``python -m repro.obs trace.json...`` -- validate trace documents.
+
+Thin wrapper around :func:`repro.obs.schema.main`; running the package
+(rather than ``repro.obs.schema`` directly) avoids runpy's double-import
+warning, since the package ``__init__`` imports the schema module.
+"""
+
+import sys
+
+from .schema import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

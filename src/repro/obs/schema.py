@@ -1,0 +1,193 @@
+"""Schema validation for exported trace documents.
+
+The repository is dependency-free by policy, so instead of ``jsonschema``
+this module ships a small hand-rolled validator for the fixed trace
+format produced by :meth:`repro.obs.Tracer.to_dict`:
+
+.. code-block:: text
+
+    {"version": 1,
+     "generated_by": "repro.obs",
+     "root": SPAN}
+
+    SPAN = {"name": str,
+            "attrs": {str: str|int|float|bool|null},
+            "elapsed": int|float >= 0,
+            "peak_rss_kb": int >= 0,
+            "counters": {str: str|int|float|bool},
+            "series": {str: [int|float, ...]},
+            "children": [SPAN, ...]}
+
+``validate_trace`` raises :class:`TraceSchemaError` carrying the JSON
+path of the first violation.  The module doubles as a CLI so CI can
+validate trace files directly::
+
+    python -m repro.obs.schema trace.json
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+__all__ = ["TRACE_SCHEMA", "TraceSchemaError", "validate_trace", "validate_span"]
+
+#: Declarative description of the trace document, kept in the shape of a
+#: (subset of a) JSON Schema for documentation and introspection.  The
+#: executable validator below is the source of truth.
+TRACE_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["version", "generated_by", "root"],
+    "properties": {
+        "version": {"const": 1},
+        "generated_by": {"const": "repro.obs"},
+        "root": {"$ref": "#/definitions/span"},
+    },
+    "definitions": {
+        "span": {
+            "type": "object",
+            "required": ["name", "attrs", "elapsed", "peak_rss_kb",
+                         "counters", "series", "children"],
+            "properties": {
+                "name": {"type": "string", "minLength": 1},
+                "attrs": {"type": "object"},
+                "elapsed": {"type": "number", "minimum": 0},
+                "peak_rss_kb": {"type": "integer", "minimum": 0},
+                "counters": {"type": "object"},
+                "series": {
+                    "type": "object",
+                    "additionalProperties": {
+                        "type": "array", "items": {"type": "number"}
+                    },
+                },
+                "children": {
+                    "type": "array", "items": {"$ref": "#/definitions/span"}
+                },
+            },
+        }
+    },
+}
+
+
+class TraceSchemaError(ValueError):
+    """A trace document violates the schema; ``path`` locates the culprit."""
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path
+        super().__init__("%s: %s" % (path, message))
+
+
+def _fail(path: str, message: str) -> None:
+    raise TraceSchemaError(path, message)
+
+
+def _check_scalar(value: object, path: str, allow_none: bool = False) -> None:
+    if value is None:
+        if not allow_none:
+            _fail(path, "null is not allowed here")
+        return
+    if not isinstance(value, (str, int, float, bool)):
+        _fail(path, "expected a scalar, got %s" % type(value).__name__)
+
+
+def _check_number(value: object, path: str, minimum: float = 0) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _fail(path, "expected a number, got %s" % type(value).__name__)
+    if value < minimum:
+        _fail(path, "expected >= %s, got %s" % (minimum, value))
+
+
+def validate_span(span: object, path: str = "root") -> None:
+    """Validate one span dict (recursively); raises :class:`TraceSchemaError`."""
+    if not isinstance(span, dict):
+        _fail(path, "expected an object, got %s" % type(span).__name__)
+    for key in ("name", "attrs", "elapsed", "peak_rss_kb", "counters",
+                "series", "children"):
+        if key not in span:
+            _fail(path, "missing required key %r" % key)
+
+    name = span["name"]
+    if not isinstance(name, str) or not name:
+        _fail(path + ".name", "expected a non-empty string")
+
+    attrs = span["attrs"]
+    if not isinstance(attrs, dict):
+        _fail(path + ".attrs", "expected an object")
+    for key, value in attrs.items():
+        if not isinstance(key, str):
+            _fail(path + ".attrs", "non-string key %r" % (key,))
+        _check_scalar(value, "%s.attrs.%s" % (path, key), allow_none=True)
+
+    _check_number(span["elapsed"], path + ".elapsed")
+    peak = span["peak_rss_kb"]
+    if isinstance(peak, bool) or not isinstance(peak, int) or peak < 0:
+        _fail(path + ".peak_rss_kb", "expected a non-negative integer")
+
+    counters = span["counters"]
+    if not isinstance(counters, dict):
+        _fail(path + ".counters", "expected an object")
+    for key, value in counters.items():
+        if not isinstance(key, str):
+            _fail(path + ".counters", "non-string key %r" % (key,))
+        _check_scalar(value, "%s.counters.%s" % (path, key))
+
+    series = span["series"]
+    if not isinstance(series, dict):
+        _fail(path + ".series", "expected an object")
+    for key, samples in series.items():
+        if not isinstance(key, str):
+            _fail(path + ".series", "non-string key %r" % (key,))
+        if not isinstance(samples, list):
+            _fail("%s.series.%s" % (path, key), "expected an array")
+        for i, sample in enumerate(samples):
+            _check_number(sample, "%s.series.%s[%d]" % (path, key, i),
+                          minimum=float("-inf"))
+
+    children = span["children"]
+    if not isinstance(children, list):
+        _fail(path + ".children", "expected an array")
+    for i, child in enumerate(children):
+        validate_span(child, "%s.children[%d]" % (path, i))
+
+
+def validate_trace(payload: object) -> None:
+    """Validate a full trace document; raises :class:`TraceSchemaError`."""
+    if not isinstance(payload, dict):
+        _fail("$", "expected an object, got %s" % type(payload).__name__)
+    for key in ("version", "generated_by", "root"):
+        if key not in payload:
+            _fail("$", "missing required key %r" % key)
+    if payload["version"] != 1:
+        _fail("$.version", "expected 1, got %r" % (payload["version"],))
+    if payload["generated_by"] != "repro.obs":
+        _fail("$.generated_by",
+              "expected 'repro.obs', got %r" % (payload["generated_by"],))
+    validate_span(payload["root"], "root")
+
+
+def main(argv: List[str] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.schema",
+        description="Validate repro.obs trace JSON files.",
+    )
+    parser.add_argument("files", nargs="+", help="trace files to validate")
+    args = parser.parse_args(argv)
+
+    status = 0
+    for path in args.files:
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            validate_trace(payload)
+        except (OSError, ValueError) as exc:
+            print("%s: INVALID (%s)" % (path, exc))
+            status = 1
+        else:
+            print("%s: ok" % path)
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

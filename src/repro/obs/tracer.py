@@ -1,0 +1,378 @@
+"""Nested-span tracer with counters -- the core of :mod:`repro.obs`.
+
+The instrumentation contract every hot layer of this code base follows:
+
+* Call sites fetch the process-wide active tracer with
+  :func:`current_tracer` and open phases with ``with obs.span("name")``.
+  The default tracer is :data:`NULL_TRACER`, whose spans are a shared
+  immutable no-op object -- instrumented code pays one attribute lookup
+  and one (reused) context-manager enter/exit per *phase*, never per
+  state/event/node.
+* Per-iteration bookkeeping (frontier sizes per BFS wave, per-pass BDD
+  node counts) must be guarded by ``span.live`` / ``obs.enabled`` so the
+  disabled path stays branch-only.
+* Counters hold **deterministic** quantities only (state counts, espresso
+  iterations, BDD nodes...).  Wall times live on ``Span.elapsed`` and peak
+  RSS on ``Span.peak_rss_kb``, so two identical runs produce identical
+  counter trees -- a property the test suite pins.
+
+Tracing is activated per process with :func:`set_tracer` or the
+:func:`tracing` context manager; worker threads (the cooperative-timeout
+harness) attach their spans under the tracer's root via a thread-local
+span stack, and worker *processes* (the batch runner) start with the
+no-op default and opt in locally.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, Iterator, List, Optional
+
+try:
+    import resource
+
+    def peak_rss_kb() -> int:
+        """Peak resident set size of this process, in kibibytes.
+
+        ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; the value is
+        normalised to KiB so traces are comparable across platforms.
+        """
+        import sys
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":  # pragma: no cover - platform specific
+            peak //= 1024
+        return int(peak)
+
+except ImportError:  # pragma: no cover - non-POSIX fallback
+
+    def peak_rss_kb() -> int:
+        return 0
+
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "current_tracer",
+    "set_tracer",
+    "tracing",
+    "span_summary",
+    "peak_rss_kb",
+]
+
+
+class Span:
+    """One phase of a traced run: wall time, counters, series, children."""
+
+    __slots__ = ("name", "attrs", "start", "elapsed", "counters", "series",
+                 "children", "peak_rss_kb")
+
+    #: True on real spans; the null span overrides it.  Hot loops guard
+    #: per-iteration bookkeeping with ``if span.live:``.
+    live = True
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, object]] = None) -> None:
+        self.name = name
+        self.attrs: Dict[str, object] = dict(attrs) if attrs else {}
+        self.start = time.perf_counter()
+        self.elapsed = 0.0
+        self.counters: Dict[str, object] = {}
+        self.series: Dict[str, List[object]] = {}
+        self.children: List["Span"] = []
+        self.peak_rss_kb = 0
+
+    # Deterministic quantities only -- see the module docstring.
+    def counter(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to an additive counter."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: object) -> None:
+        """Record a point-in-time value (overwrites)."""
+        self.counters[name] = value
+
+    def maximum(self, name: str, value: object) -> None:
+        """Record the maximum seen for ``name``."""
+        current = self.counters.get(name)
+        if current is None or value > current:
+            self.counters[name] = value
+
+    def append(self, name: str, value: object) -> None:
+        """Append one sample to a per-span series (e.g. per-pass nodes)."""
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = []
+        series.append(value)
+
+    def close(self) -> None:
+        self.elapsed = time.perf_counter() - self.start
+        self.peak_rss_kb = peak_rss_kb()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "attrs": self.attrs,
+            "elapsed": round(self.elapsed, 6),
+            "peak_rss_kb": self.peak_rss_kb,
+            "counters": self.counters,
+            "series": self.series,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span named ``name`` in this subtree (depth-first)."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name: str) -> List["Span"]:
+        return [span for span in self.walk() if span.name == name]
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            for span in child.walk():
+                yield span
+
+    def __repr__(self) -> str:
+        return "Span(%r, elapsed=%.4fs, counters=%d, children=%d)" % (
+            self.name, self.elapsed, len(self.counters), len(self.children)
+        )
+
+
+class _NullSpan:
+    """Shared no-op span: every mutation is a constant-time no-op."""
+
+    __slots__ = ()
+    live = False
+    name = ""
+    attrs: Dict[str, object] = {}
+    elapsed = 0.0
+    peak_rss_kb = 0
+    counters: Dict[str, object] = {}
+    series: Dict[str, List[object]] = {}
+    children: List[Span] = []
+
+    def counter(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: object) -> None:
+        pass
+
+    def maximum(self, name: str, value: object) -> None:
+        pass
+
+    def append(self, name: str, value: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NullSpan()"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager pushing/popping one span on a tracer's stack."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Optional[Dict[str, object]]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> Span:
+        stack = self._tracer._stack()
+        span = Span(self._name, self._attrs)
+        stack[-1].children.append(span)
+        stack.append(span)
+        self.span = span
+        return span
+
+    def __exit__(self, *exc: object) -> bool:
+        self.span.close()
+        stack = self._tracer._stack()
+        if stack[-1] is self.span:  # tolerate exotic unwinding
+            stack.pop()
+        return False
+
+
+class Tracer:
+    """A process-local tracer collecting a tree of :class:`Span` objects.
+
+    The span stack is thread-local: spans opened from worker threads (the
+    cooperative-timeout harness runs synthesis tasks on daemon threads)
+    attach directly under :attr:`root` instead of corrupting the opening
+    thread's stack.
+    """
+
+    enabled = True
+
+    def __init__(self, name: str = "trace") -> None:
+        self.root = Span(name)
+        self._local = threading.local()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = [self.root]
+            self._local.stack = stack
+        return stack
+
+    @property
+    def current(self) -> Span:
+        """The innermost open span of the calling thread."""
+        return self._stack()[-1]
+
+    def span(self, name: str, **attrs: object) -> _SpanContext:
+        """Open a nested span: ``with obs.span("reachability", engine="bdd")``."""
+        return _SpanContext(self, name, attrs or None)
+
+    # Convenience delegates to the calling thread's innermost span.
+    def counter(self, name: str, amount: int = 1) -> None:
+        self.current.counter(name, amount)
+
+    def gauge(self, name: str, value: object) -> None:
+        self.current.gauge(name, value)
+
+    def maximum(self, name: str, value: object) -> None:
+        self.current.maximum(name, value)
+
+    def append(self, name: str, value: object) -> None:
+        self.current.append(name, value)
+
+    def finish(self) -> Span:
+        """Close the root span and return it."""
+        self.root.close()
+        return self.root
+
+    def to_dict(self) -> Dict[str, object]:
+        """Exported trace document (closes the root if still open)."""
+        if self.root.elapsed == 0.0:
+            self.root.close()
+        return {
+            "version": 1,
+            "generated_by": "repro.obs",
+            "root": self.root.to_dict(),
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def __repr__(self) -> str:
+        return "Tracer(%r, spans=%d)" % (
+            self.root.name, sum(1 for _ in self.root.walk())
+        )
+
+
+class NullTracer:
+    """The zero-cost default: every span is the shared no-op span."""
+
+    enabled = False
+    root = NULL_SPAN
+    current = NULL_SPAN
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return NULL_SPAN
+
+    def counter(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: object) -> None:
+        pass
+
+    def maximum(self, name: str, value: object) -> None:
+        pass
+
+    def append(self, name: str, value: object) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+NULL_TRACER = NullTracer()
+
+_active = NULL_TRACER
+
+
+def current_tracer():
+    """The process-wide active tracer (the no-op tracer by default)."""
+    return _active
+
+
+def set_tracer(tracer) -> object:
+    """Install ``tracer`` (or the no-op default for ``None``); returns the
+    previously active tracer so callers can restore it."""
+    global _active
+    previous = _active
+    _active = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+class tracing:
+    """Context manager activating a tracer for the duration of a block::
+
+        with tracing("table1") as tracer:
+            run_table1(...)
+        tracer.write_json("trace.json")
+    """
+
+    def __init__(self, name: str = "trace", tracer: Optional[Tracer] = None) -> None:
+        self.tracer = tracer if tracer is not None else Tracer(name)
+        self._previous: object = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *exc: object) -> bool:
+        self.tracer.finish()
+        set_tracer(self._previous)
+        return False
+
+
+def span_summary(span: Span) -> Dict[str, object]:
+    """Flatten a span subtree into a JSON-friendly metrics blob.
+
+    Numeric counters are summed across the subtree (so e.g. every espresso
+    call's ``espresso_iterations`` aggregates), per-phase wall clocks are
+    summed by span name, and the blob keeps the subtree root's elapsed time
+    and peak RSS.  Non-numeric counter values (engine names, verdicts) are
+    kept last-writer-wins.
+    """
+    counters: Dict[str, object] = {}
+    phases: Dict[str, float] = {}
+
+    for node in span.walk():
+        for key, value in node.counters.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                counters[key] = value
+            else:
+                base = counters.get(key, 0)
+                if isinstance(base, (int, float)) and not isinstance(base, bool):
+                    counters[key] = base + value
+                else:
+                    counters[key] = value
+        if node is not span:
+            phases[node.name] = phases.get(node.name, 0.0) + node.elapsed
+    return {
+        "elapsed": round(span.elapsed, 6),
+        "peak_rss_kb": span.peak_rss_kb,
+        "counters": counters,
+        "phases": {name: round(seconds, 6) for name, seconds in sorted(phases.items())},
+    }

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
+from ..obs import current_tracer
 from ..stg import STG
 from .random_walk import RandomWalker, Trace
 from .simulator import ExplorationResult, Simulator
@@ -133,8 +134,13 @@ def simulate_implementation(
     conformance violations and deadlocks.  See :class:`~repro.sim.simulator.Simulator`.
     ``packed`` forces/forbids the packed simulation engine (default: auto).
     """
-    simulator = Simulator(stg, implementation, packed=packed)
-    return simulator.explore(max_states=max_states, max_reports=max_reports)
+    with current_tracer().span("conformance", stg=stg.name) as span:
+        simulator = Simulator(stg, implementation, packed=packed)
+        result = simulator.explore(max_states=max_states, max_reports=max_reports)
+        if span.live:
+            span.gauge("sim_states", result.num_states)
+            span.gauge("ok", result.ok)
+    return result
 
 
 def random_walk_trace(

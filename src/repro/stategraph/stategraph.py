@@ -34,6 +34,7 @@ from ..core import (
     pack_code,
     unpack_code,
 )
+from ..obs import NULL_SPAN, current_tracer
 from ..petrinet import Marking, StateSpaceLimitExceeded
 from ..stg import STG, STGError
 from ..stg.signals import Direction
@@ -307,14 +308,15 @@ def build_state_graph(
     """
     if not stg.has_complete_initial_state():
         stg.infer_initial_state()
-    if packed is True:
-        return _build_packed(stg, max_states, check_consistency)
-    if packed is None and PackedNet.is_packable(stg.net):
-        try:
-            return _build_packed(stg, max_states, check_consistency)
-        except UnsafeNetError:
-            pass  # a reachable marking is not 1-bounded: use the fallback
-    return _build_legacy(stg, max_states, check_consistency)
+    with current_tracer().span("reachability", engine="explicit", stg=stg.name) as span:
+        if packed is True:
+            return _build_packed(stg, max_states, check_consistency, span)
+        if packed is None and PackedNet.is_packable(stg.net):
+            try:
+                return _build_packed(stg, max_states, check_consistency, span)
+            except UnsafeNetError:
+                pass  # a reachable marking is not 1-bounded: use the fallback
+        return _build_legacy(stg, max_states, check_consistency, span)
 
 
 def _inconsistent_enabled(stg: STG, transition: str) -> InconsistentSTGError:
@@ -339,7 +341,7 @@ def _inconsistent_codes(
 
 
 def _build_packed(
-    stg: STG, max_states: Optional[int], check_consistency: bool
+    stg: STG, max_states: Optional[int], check_consistency: bool, span=NULL_SPAN
 ) -> StateGraph:
     pnet = PackedNet(stg.net)
     graph = StateGraph(stg, codec=pnet.codec)
@@ -370,6 +372,9 @@ def _build_packed(
     initial_code = pack_code(stg.initial_code())
     graph._add_packed_state(pnet.initial, initial_code)
     queue = deque([0])
+    # BFS depth per state, maintained only when tracing: it turns into the
+    # per-wave frontier-size series without touching the disabled hot path.
+    depths: List[int] = [0] if span.live else []
     while queue:
         source = queue.popleft()
         marking = packed_markings[source]
@@ -401,6 +406,8 @@ def _build_packed(
                 if max_states is not None and graph.num_states > max_states:
                     raise StateSpaceLimitExceeded(max_states)
                 queue.append(target)
+                if depths:
+                    depths.append(depths[source] + 1)
             elif check_consistency and packed_codes[target] != successor_code:
                 raise _inconsistent_codes(
                     pnet.codec.decode(successor_marking),
@@ -408,11 +415,30 @@ def _build_packed(
                     unpack_code(successor_code, nsignals),
                 )
             graph._add_edge(source, transitions[t], target)
+    if span.live:
+        _record_bfs_stats(span, graph, depths)
+        span.gauge("interned_markings", len(graph._index))
     return graph
 
 
+def _record_bfs_stats(span, graph: StateGraph, depths: List[int]) -> None:
+    """End-of-BFS gauges + the per-wave frontier-size series."""
+    span.gauge("states", graph.num_states)
+    span.gauge("edges", graph.num_edges)
+    span.gauge("packed", graph.is_packed)
+    if depths:
+        waves: List[int] = []
+        for depth in depths:
+            if depth == len(waves):
+                waves.append(0)
+            waves[depth] += 1
+        for size in waves:
+            span.append("frontier_waves", size)
+        span.gauge("bfs_depth", len(waves) - 1)
+
+
 def _build_legacy(
-    stg: STG, max_states: Optional[int], check_consistency: bool
+    stg: STG, max_states: Optional[int], check_consistency: bool, span=NULL_SPAN
 ) -> StateGraph:
     graph = StateGraph(stg)
     initial_code = stg.initial_code()
@@ -420,6 +446,7 @@ def _build_legacy(
     graph._add_state(initial, initial_code)
     queue = deque([0])
     codes: List[Tuple[int, ...]] = [initial_code]
+    depths: List[int] = [0] if span.live else []
 
     while queue:
         index = queue.popleft()
@@ -443,5 +470,9 @@ def _build_legacy(
                 if max_states is not None and graph.num_states > max_states:
                     raise StateSpaceLimitExceeded(max_states)
                 queue.append(target)
+                if depths:
+                    depths.append(depths[index] + 1)
             graph._add_edge(index, transition, target)
+    if span.live:
+        _record_bfs_stats(span, graph, depths)
     return graph

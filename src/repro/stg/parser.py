@@ -19,6 +19,7 @@ from __future__ import annotations
 import re
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..obs import current_tracer
 from .signals import SignalError, SignalTransition, SignalType
 from .stg import STG, STGError
 
@@ -40,6 +41,11 @@ def parse_g_file(path: str) -> STG:
 
 def parse_g(text: str, name: Optional[str] = None) -> STG:
     """Parse a ``.g`` description from a string."""
+    with current_tracer().span("parse", source=name or "stg") as span:
+        return _parse_g(text, name, span)
+
+
+def _parse_g(text: str, name: Optional[str], span) -> STG:
     lines = _logical_lines(text)
     model_name = name or "stg"
     declarations: List[Tuple[str, List[str]]] = []
@@ -113,6 +119,10 @@ def parse_g(text: str, name: Optional[str] = None) -> STG:
 
     _apply_marking(stg, marking_tokens, implicit_places)
     _apply_initial_state(stg, initial_state_tokens)
+    if span.live:
+        span.gauge("signals", stg.num_signals)
+        span.gauge("transitions", len(stg.net.transitions))
+        span.gauge("places", len(stg.net.places))
     return stg
 
 

@@ -29,6 +29,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from ..boolean import BooleanFunction, Cover, Cube, espresso
+from ..obs import current_tracer
 from ..spaces import StateSpace, build_state_space
 from ..stg import STG
 from ..stg.signals import Direction
@@ -103,6 +104,7 @@ def synthesize_from_sg(
         qualifies.  Used by the equivalence test-suite to compare both
         representations.
     """
+    obs = current_tracer()
     start = time.perf_counter()
     space = build_state_space(stg, engine=engine, max_states=max_states, packed=packed)
     build_time = time.perf_counter() - start
@@ -113,47 +115,53 @@ def synthesize_from_sg(
     cover_time = 0.0
     minimize_time = 0.0
 
-    conflicting_signals = space.conflicting_signals()
+    with obs.span("csc", stage="check", engine=space.engine) as csc_span:
+        conflicting_signals = space.conflicting_signals()
+        if csc_span.live:
+            csc_span.gauge("conflicting_signals", len(conflicting_signals))
     if conflicting_signals and raise_on_csc:
         raise ValueError(
             "CSC conflict on signals: %s" % ", ".join(sorted(conflicting_signals))
         )
 
-    for signal in stg.implementable_signals:
-        if signal in conflicting_signals:
-            implementation.csc_conflicts.append(signal)
-            continue
+    with obs.span("covers", engine=space.engine) as cover_span:
+        for signal in stg.implementable_signals:
+            if signal in conflicting_signals:
+                implementation.csc_conflicts.append(signal)
+                cover_span.counter("signals_skipped_csc")
+                continue
 
-        t0 = time.perf_counter()
-        on_cover = space.on_cover(signal)
-        if architecture != "acg":
-            set_on = space.set_cover(signal)
-            reset_on = space.reset_cover(signal)
-            qr_high = space.quiescent_cover(signal, 1)
-            qr_low = space.quiescent_cover(signal, 0)
-        cover_time += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            on_cover = space.on_cover(signal)
+            if architecture != "acg":
+                set_on = space.set_cover(signal)
+                reset_on = space.reset_cover(signal)
+                qr_high = space.quiescent_cover(signal, 1)
+                qr_low = space.quiescent_cover(signal, 0)
+            cover_time += time.perf_counter() - t0
 
-        t1 = time.perf_counter()
-        if dc is None:
-            dc = space.dc_cover()
-        if architecture == "acg":
-            minimized = espresso(on_cover, dc).cover
-            gate = Gate(signal, architecture, function=BooleanFunction(signals, minimized))
-        else:
-            # For the set (reset) excitation function the quiescent region at
-            # 1 (0) is a don't care: the memory element holds the value there.
-            set_dc = dc.union(qr_high)
-            reset_dc = dc.union(qr_low)
-            set_cover = espresso(set_on, set_dc).cover
-            reset_cover = espresso(reset_on, reset_dc).cover
-            gate = Gate(
-                signal,
-                architecture,
-                set_function=BooleanFunction(signals, set_cover),
-                reset_function=BooleanFunction(signals, reset_cover),
-            )
-        minimize_time += time.perf_counter() - t1
-        implementation.add_gate(gate)
+            t1 = time.perf_counter()
+            if dc is None:
+                dc = space.dc_cover()
+            if architecture == "acg":
+                minimized = espresso(on_cover, dc).cover
+                gate = Gate(signal, architecture, function=BooleanFunction(signals, minimized))
+            else:
+                # For the set (reset) excitation function the quiescent region at
+                # 1 (0) is a don't care: the memory element holds the value there.
+                set_dc = dc.union(qr_high)
+                reset_dc = dc.union(qr_low)
+                set_cover = espresso(set_on, set_dc).cover
+                reset_cover = espresso(reset_on, reset_dc).cover
+                gate = Gate(
+                    signal,
+                    architecture,
+                    set_function=BooleanFunction(signals, set_cover),
+                    reset_function=BooleanFunction(signals, reset_cover),
+                )
+            minimize_time += time.perf_counter() - t1
+            implementation.add_gate(gate)
+            cover_span.counter("signals_implemented")
 
     return SGSynthesisResult(
         implementation=implementation,

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..obs import current_tracer
 from ..stg import STG
 from .netlist import Implementation
 from .sg_synthesis import synthesize_from_sg
@@ -157,18 +158,25 @@ def synthesize(
     if method not in METHODS:
         raise ValueError("unknown synthesis method %r (choose from %s)" % (method, METHODS))
 
-    encoding = None
-    if resolve_encoding:
-        from ..encoding import resolve_csc
+    with current_tracer().span(
+        "synthesize", method=method, architecture=architecture, benchmark=stg.name
+    ) as span:
+        encoding = None
+        if resolve_encoding:
+            from ..encoding import resolve_csc
 
-        encoding = resolve_csc(stg, max_signals=max_csc_signals, max_states=max_states)
-        if encoding.inserted:
-            stg = encoding.stg
-        elif encoding.resolved:
-            encoding = None  # already CSC-clean: nothing to report
+            encoding = resolve_csc(stg, max_signals=max_csc_signals, max_states=max_states)
+            if encoding.inserted:
+                stg = encoding.stg
+            elif encoding.resolved:
+                encoding = None  # already CSC-clean: nothing to report
 
-    result = _dispatch(stg, method, architecture, raise_on_csc, max_states, packed, engine)
-    result.encoding = encoding
+        result = _dispatch(stg, method, architecture, raise_on_csc, max_states, packed, engine)
+        result.encoding = encoding
+        if span.live:
+            span.gauge("literals", result.literal_count)
+            span.gauge("num_states", result.num_states)
+            span.gauge("csc_resolved", result.csc_resolved)
     return result
 
 

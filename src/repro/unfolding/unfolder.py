@@ -37,6 +37,7 @@ from ..core import (
     popcount,
     unpack_code,
 )
+from ..obs import current_tracer
 from ..stg import STG, STGError
 from .occurrence_net import Condition, Event, OccurrenceNet
 
@@ -326,6 +327,13 @@ def unfold(
         When True (default), an event violating consistent state assignment
         aborts the construction with :class:`UnfoldingError`.
     """
+    with current_tracer().span("unfold", stg=stg.name) as span:
+        return _unfold(stg, max_events, check_consistency, span)
+
+
+def _unfold(
+    stg: STG, max_events: int, check_consistency: bool, span
+) -> UnfoldingSegment:
     if not stg.has_complete_initial_state():
         stg.infer_initial_state()
     net = stg.net
@@ -498,4 +506,12 @@ def unfold(
                 "unfolding exceeded %d events; the STG may be unbounded" % max_events
             )
 
+    # End-of-run gauges only: the unfolding loop itself stays untouched.
+    if span.live:
+        span.gauge("events", segment.num_events - 1)
+        span.gauge("conditions", segment.num_conditions)
+        span.gauge("cutoffs", len(segment.cutoffs))
+        span.gauge("extensions_tried", len(seen_extensions))
+        span.gauge("extensions_added", segment.num_events - 1)
+        span.gauge("cutoff_table", len(state_sizes))
     return segment

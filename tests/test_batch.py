@@ -1,9 +1,11 @@
 """Tests for the parallel experiment batch runner and the timeout outcome."""
 
 import json
+import time
 
 import pytest
 
+import repro.flow.batch as batch_module
 from repro.cli import main
 from repro.flow import (
     row_outcome,
@@ -11,6 +13,7 @@ from repro.flow import (
     run_table1,
     run_table1_batch,
 )
+from repro.flow.batch import _partial_writer, _read_partial, _run_batch
 from repro.stg import benchmark_by_name
 
 NAMES = ["sendr-done", "rcv-setup", "nowick"]
@@ -92,6 +95,71 @@ def test_row_outcome_aggregation():
     assert row_outcome({"a_outcome": "timeout", "b_outcome": "error"}) == "error"
     assert row_outcome({"a_outcome": "ok", "Conf": "error"}) == "error"
     assert row_outcome({"a_outcome": "skipped"}) == "ok"
+
+
+def test_partial_writer_roundtrip(tmp_path):
+    path = str(tmp_path / "0.json")
+    writer = _partial_writer(path)
+    writer({"benchmark": "x", "a_total": 0.5})
+    writer({"benchmark": "x", "a_total": 0.5, "b_total": 0.7})
+    assert _read_partial(path) == {"benchmark": "x", "a_total": 0.5, "b_total": 0.7}
+
+
+def test_read_partial_tolerates_missing_and_garbage(tmp_path):
+    assert _read_partial(None) == {}
+    assert _read_partial(str(tmp_path / "absent.json")) == {}
+    garbage = tmp_path / "garbage.json"
+    garbage.write_text("{not json")
+    assert _read_partial(str(garbage)) == {}
+    non_dict = tmp_path / "list.json"
+    non_dict.write_text("[1, 2]")
+    assert _read_partial(str(non_dict)) == {}
+    assert _partial_writer(None) is None
+
+
+def _hang_after_partial(args):
+    """Worker that persists a partial row, then hangs past every budget."""
+    writer = _partial_writer(args.get("partial_path"))
+    writer(
+        {
+            "benchmark": args["name"],
+            "sg-explicit_total": 1.23,
+            "sg-explicit_outcome": "ok",
+        }
+    )
+    time.sleep(60)
+
+
+def test_hung_worker_merges_partial_row(monkeypatch):
+    monkeypatch.setattr(batch_module, "PARENT_SLACK_SECONDS", 0.5)
+    rows = _run_batch(
+        _hang_after_partial,
+        [{"name": "slow"}],
+        [{"benchmark": "slow"}],
+        jobs=1,
+        task_timeout=0.05,
+        methods_per_row=1,
+    )
+    (row,) = rows
+    # The row timed out as a whole, but the per-method results the worker
+    # persisted before hanging survive the merge.
+    assert row["outcome"] == "timeout"
+    assert row["benchmark"] == "slow"
+    assert row["sg-explicit_total"] == 1.23
+    assert row["sg-explicit_outcome"] == "ok"
+
+
+def test_batch_collect_metrics_rows_carry_blobs():
+    rows = run_table1_batch(
+        names=["nowick"], methods=METHODS, jobs=1, collect_metrics=True
+    )
+    (row,) = rows
+    assert row["outcome"] == "ok"
+    for method in METHODS:
+        blob = row["%s_metrics" % method]
+        assert blob["elapsed"] > 0.0
+        assert isinstance(blob["counters"], dict)
+    assert row["conformance_metrics"]["counters"]["sim_states"] > 0
 
 
 def test_cli_batch_writes_json(tmp_path, capsys):
