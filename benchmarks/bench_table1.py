@@ -28,7 +28,19 @@ Two symbolic-engine entries track the ``repro.spaces`` BDD backend:
 point + symbolic USC/CSC on ``muller_pipeline(16)``, 262144 states --
 beyond the explicit CI budget) and ``explicit_vs_symbolic_crossover``
 (end-to-end sg-explicit vs sg-bdd seconds over the Muller family and the
-stage count where the symbolic engine starts winning).
+stage count where the symbolic engine starts winning).  The storage-managed
+fixed point adds three more: ``bdd_reorder_muller16`` (peak node count of
+the chaining loop vs the GC'd/reorderable saturation loop),
+``symbolic_saturation_muller24`` (the saturation fixed point on a 16.7M
+state pipeline, reachability only) and ``explicit_kernel_states_per_sec``
+(python-loop vs numpy-bitset BFS of the full ``muller_pipeline(16)``
+graph).
+
+When ``--baseline`` / ``--unfolding-baseline`` are not given, the
+pre-refactor comparison points are backfilled from the previous history
+entry of the existing report file: the last run's measured seconds *are*
+the pre-refactor numbers of this run, so the speedup columns track
+commit-over-commit drift instead of sitting at ``null`` forever.
 """
 
 import argparse
@@ -208,6 +220,96 @@ def _time_engine_crossover(stage_counts=(8, 10, 12, 14, 16), explicit_limit_sign
     return {"rows": rows, "symbolic_wins_from_stages": crossover}
 
 
+def _time_bdd_reorder(stages=16):
+    """Peak BDD node count of the symbolic fixed point, before/after the
+    storage-managed saturation loop (GC checkpoints + optional sifting).
+    The chaining loop never collects, so its final store size *is* its
+    peak; saturation's tracked peak shows what the maintenance saves."""
+    from repro.bdd import SymbolicNet
+
+    stg = muller_pipeline(stages)
+    t0 = time.perf_counter()
+    chaining = SymbolicNet(stg.net, stg=stg, fixpoint="chaining")
+    chaining.reachable_set()
+    chaining_seconds = time.perf_counter() - t0
+    t1 = time.perf_counter()
+    saturation = SymbolicNet(stg.net, stg=stg, fixpoint="saturation")
+    saturation.reachable_set()
+    saturation_seconds = time.perf_counter() - t1
+    peak = max(saturation.peak_nodes, saturation.bdd.num_nodes)
+    return {
+        "stages": stages,
+        "peak_nodes_chaining": chaining.bdd.num_nodes,
+        "peak_nodes_saturation": peak,
+        # Total the saturation loop would have needed without GC: the
+        # surviving peak plus everything the sweeps reclaimed.
+        "allocated_nodes_saturation": peak + saturation.bdd.nodes_reclaimed,
+        "final_nodes_saturation": saturation.bdd.num_nodes,
+        "seconds_chaining": round(chaining_seconds, 4),
+        "seconds_saturation": round(saturation_seconds, 4),
+        "gc_runs": saturation.bdd.gc_runs,
+        "nodes_reclaimed": saturation.bdd.nodes_reclaimed,
+        "reorder_passes": saturation.bdd.reorder_passes,
+    }
+
+
+def _time_symbolic_saturation(stages=24):
+    """Saturation fixed point only (no USC/CSC) on a pipeline far beyond
+    any explicit budget: 16.7M states at 24 stages."""
+    from repro.bdd import SymbolicNet
+
+    stg = muller_pipeline(stages)
+    t0 = time.perf_counter()
+    engine = SymbolicNet(stg.net, stg=stg, fixpoint="saturation")
+    engine.reachable_set()
+    seconds = time.perf_counter() - t0
+    states = engine.count_states()
+    return {
+        "stages": stages,
+        "states": states,
+        "seconds": round(seconds, 4),
+        "states_per_sec": round(states / seconds) if seconds > 0 else None,
+        "peak_nodes": max(engine.peak_nodes, engine.bdd.num_nodes),
+        "final_nodes": engine.bdd.num_nodes,
+        "gc_runs": engine.bdd.gc_runs,
+        "saturation_fires": engine.saturation_fires,
+    }
+
+
+def _time_explicit_kernel(stages=16):
+    """Python-loop vs numpy-bitset BFS of the full muller_pipeline graph.
+
+    Only the graph build is timed (BFS + excitation sweeps); the numpy
+    block is skipped (``None``) when the optional extra is missing."""
+    from repro.kernel import HAS_NUMPY
+
+    def one(kernel):
+        stg = muller_pipeline(stages)
+        t0 = time.perf_counter()
+        graph = build_state_graph(stg, kernel=kernel)
+        seconds = time.perf_counter() - t0
+        return {
+            "seconds": round(seconds, 4),
+            "states": graph.num_states,
+            "states_per_sec": (
+                round(graph.num_states / seconds) if seconds > 0 else None
+            ),
+        }
+
+    python = one("python")
+    numpy = one("numpy") if HAS_NUMPY else None
+    return {
+        "stages": stages,
+        "python": python,
+        "numpy": numpy,
+        "speedup": (
+            round(python["seconds"] / numpy["seconds"], 2)
+            if numpy and numpy["seconds"]
+            else None
+        ),
+    }
+
+
 def _time_csc_resolution(clients=8, max_signals=6):
     """End-to-end CSC resolution of the largest non-CSC generator workload."""
     stg = csc_arbiter(clients)
@@ -262,9 +364,46 @@ def collect_json(max_signals=14, baseline_seconds=None, unfolding_baseline_secon
         "csc_resolution_largest": _time_csc_resolution(),
         "symbolic_reachability_states_per_sec": _time_symbolic_reachability(),
         "explicit_vs_symbolic_crossover": _time_engine_crossover(),
+        "bdd_reorder_muller16": _time_bdd_reorder(),
+        "symbolic_saturation_muller24": _time_symbolic_saturation(),
+        "explicit_kernel_states_per_sec": _time_explicit_kernel(),
         "table1_rows": [dict(row) for row in rows],
     }
     return report
+
+
+def _dig(entry, *path):
+    """Nested dict lookup returning None on any miss or non-number leaf."""
+    value = entry
+    for key in path:
+        if not isinstance(value, dict):
+            return None
+        value = value.get(key)
+    return value if isinstance(value, (int, float)) else None
+
+
+def backfill_baselines(existing, baseline, unfolding_baseline):
+    """Fill missing --baseline flags from the previous run on record.
+
+    The last recorded run's *measured* seconds become this run's
+    pre-refactor comparison points, so the ``speedup_vs_pre_refactor``
+    fields stop decaying to ``null`` whenever nobody passes the flags.
+    Explicitly given flags always win.
+    """
+    if not isinstance(existing, dict):
+        return baseline, unfolding_baseline
+    if baseline is None:
+        baseline = _dig(
+            existing, "muller8_sg_explicit", "packed_engine", "seconds"
+        )
+    if unfolding_baseline is None:
+        unfolding_baseline = _dig(
+            existing,
+            "muller12_unfolding_state_recovery",
+            "packed_state_dedup",
+            "seconds",
+        )
+    return baseline, unfolding_baseline
 
 
 def main(argv=None):
@@ -287,24 +426,27 @@ def main(argv=None):
         help="pre-refactor muller_pipeline(12) state-recovery seconds, recorded as-is",
     )
     args = parser.parse_args(argv)
+    try:
+        with open(args.output) as handle:
+            existing = json.load(handle)
+    except (OSError, ValueError):
+        existing = None
+    if not isinstance(existing, dict):
+        existing = None
+    baseline, unfolding_baseline = backfill_baselines(
+        existing, args.baseline, args.unfolding_baseline
+    )
     report = collect_json(
         max_signals=args.max_signals,
-        baseline_seconds=args.baseline,
-        unfolding_baseline_seconds=args.unfolding_baseline,
+        baseline_seconds=baseline,
+        unfolding_baseline_seconds=unfolding_baseline,
     )
     if args.json:
         # Stamp the run (ISO timestamp + git revision) and fold it into the
         # history carried by the existing report file, so `repro-synth
         # dashboard` can chart the perf evolution across commits.
         report = stamp_report(report)
-        try:
-            with open(args.output) as handle:
-                existing = json.load(handle)
-        except (OSError, ValueError):
-            existing = None
-        payload = merge_history(
-            report, existing if isinstance(existing, dict) else None
-        )
+        payload = merge_history(report, existing)
         with open(args.output, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -357,6 +499,40 @@ def main(argv=None):
     print(
         "explicit-vs-symbolic crossover: symbolic wins from %s stages"
         % crossover["symbolic_wins_from_stages"]
+    )
+    reorder = report["bdd_reorder_muller16"]
+    print(
+        "muller_pipeline(%d) BDD peak nodes: saturation %d of %d allocated "
+        "(%d GC runs, %d reorder passes; chaining reference %d)"
+        % (
+            reorder["stages"],
+            reorder["peak_nodes_saturation"],
+            reorder["allocated_nodes_saturation"],
+            reorder["gc_runs"],
+            reorder["reorder_passes"],
+            reorder["peak_nodes_chaining"],
+        )
+    )
+    muller24 = report["symbolic_saturation_muller24"]
+    print(
+        "muller_pipeline(%d) saturation: %.3fs (%d states, peak %d nodes)"
+        % (
+            muller24["stages"],
+            muller24["seconds"],
+            muller24["states"],
+            muller24["peak_nodes"],
+        )
+    )
+    explicit_kernel = report["explicit_kernel_states_per_sec"]
+    numpy_block = explicit_kernel["numpy"]
+    print(
+        "muller_pipeline(%d) explicit BFS: python %.3fs / numpy %s (x%s)"
+        % (
+            explicit_kernel["stages"],
+            explicit_kernel["python"]["seconds"],
+            "%.3fs" % numpy_block["seconds"] if numpy_block else "n/a",
+            explicit_kernel["speedup"],
+        )
     )
     return 0
 

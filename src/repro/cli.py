@@ -25,6 +25,7 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
+from .kernel import KERNELS
 from .obs import Tracer, load_history, render_dashboard, set_tracer, span_summary
 from .flow import (
     apply_engine,
@@ -41,6 +42,17 @@ from .stg import benchmark_by_name, parse_g_file, write_g, write_g_file
 from .synthesis import METHODS, synthesize, verify_implementation
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_kernel_flag(command: argparse.ArgumentParser) -> None:
+    """Attach the explicit-engine kernel selector (see :mod:`repro.kernel`)."""
+    command.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default=None,
+        help="explicit-engine BFS/coding-sweep backend: auto picks numpy "
+        "when installed, python forces the reference loops",
+    )
 
 
 def _add_obs_flags(command: argparse.ArgumentParser) -> None:
@@ -97,11 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the rows (with metrics blobs when collected) to this JSON file",
     )
+    _add_kernel_flag(table1)
     _add_obs_flags(table1)
 
     fig6 = sub.add_parser("figure6", help="reproduce the Figure 6 scaling experiment")
     fig6.add_argument("--stages", nargs="+", type=int, default=[2, 4, 6, 8, 10])
     fig6.add_argument("--methods", nargs="+", default=["unfolding-approx", "sg-explicit", "sg-bdd"])
+    _add_kernel_flag(fig6)
     _add_obs_flags(fig6)
 
     sub.add_parser("counterflow", help="synthesise the 34-signal counterflow stand-in")
@@ -148,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resolve CSC conflicts by signal insertion before synthesis (table1 only)",
     )
+    _add_kernel_flag(batch)
     _add_obs_flags(batch)
 
     csc = sub.add_parser(
@@ -185,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the resolved STG as a .g file (single spec only)",
     )
+    _add_kernel_flag(csc)
     _add_obs_flags(csc)
 
     simulate = sub.add_parser(
@@ -277,6 +293,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         conformance=not args.no_conformance,
         resolve_encoding=args.resolve_encoding,
         engine=args.engine,
+        kernel=args.kernel,
         collect_metrics=args.metrics or bool(args.json_path),
     )
     columns = ["benchmark", "signals", "UnfTim", "SynTim", "EspTim", "TotTim", "LitCnt"]
@@ -300,7 +317,10 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 def _cmd_figure6(args: argparse.Namespace) -> int:
     rows = run_figure6(
-        stage_counts=args.stages, methods=args.methods, collect_metrics=args.metrics
+        stage_counts=args.stages,
+        methods=args.methods,
+        kernel=args.kernel,
+        collect_metrics=args.metrics,
     )
     columns = ["stages", "signals"] + list(args.methods)
     print(format_table(rows, columns))
@@ -318,6 +338,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             conformance=not args.no_conformance,
             resolve_encoding=args.resolve_encoding,
             engine=args.engine,
+            kernel=args.kernel,
             collect_metrics=args.metrics,
         )
         columns = ["benchmark", "signals", "TotTim", "LitCnt"]
@@ -336,6 +357,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             methods=args.methods,
             jobs=args.jobs,
             task_timeout=args.timeout,
+            kernel=args.kernel,
             collect_metrics=args.metrics,
         )
         columns = ["stages", "signals"] + list(args.methods)
@@ -377,7 +399,9 @@ def _cmd_csc(args: argparse.Namespace) -> int:
         # the reachable set, state count and CSC verdict are all computed
         # symbolically, so specifications far beyond the explicit budget can
         # still be *checked*.
-        space = build_state_space(stg, engine=args.engine, max_states=args.max_states)
+        space = build_state_space(
+            stg, engine=args.engine, max_states=args.max_states, kernel=args.kernel
+        )
         before = space.check_csc()
         row = {
             "benchmark": stg.name,
@@ -400,6 +424,7 @@ def _cmd_csc(args: argparse.Namespace) -> int:
                 max_signals=args.max_signals,
                 seed=args.seed,
                 max_states=args.max_states,
+                kernel=args.kernel,
             )
             row["inserted"] = ",".join(result.inserted)
             row["conflicts_after"] = result.conflicts_after

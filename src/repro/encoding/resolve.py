@@ -116,6 +116,7 @@ def resolve_csc(
     seed: int = 0,
     max_states: Optional[int] = None,
     validate: bool = True,
+    kernel: Optional[str] = None,
 ) -> EncodingResult:
     """Resolve the CSC conflicts of an STG by inserting internal signals.
 
@@ -137,10 +138,15 @@ def resolve_csc(
         When True (default), every accepted insertion must not add output
         persistency violations, and the final result is checked for
         projection conformance against the original specification.
+    kernel:
+        BFS backend for the State Graph rebuilds (``"auto"``/``None``,
+        ``"numpy"``, ``"python"``) -- the inner loop rebuilds the graph
+        once per validated candidate, so the numpy kernel pays off on
+        large specifications.
     """
     with current_tracer().span("csc", stage="resolve", stg=stg.name) as span:
         return _resolve_csc(
-            stg, graph, max_signals, seed, max_states, validate, span
+            stg, graph, max_signals, seed, max_states, validate, kernel, span
         )
 
 
@@ -151,11 +157,12 @@ def _resolve_csc(
     seed: int,
     max_states: Optional[int],
     validate: bool,
+    kernel: Optional[str],
     span,
 ) -> EncodingResult:
     start = time.perf_counter()
     if graph is None:
-        graph = build_state_graph(stg, max_states=max_states)
+        graph = build_state_graph(stg, max_states=max_states, kernel=kernel)
     original_stg = stg
     rng = random.Random(seed)
 
@@ -182,7 +189,7 @@ def _resolve_csc(
             candidate_stg = apply_insertion(stg, region, signal)
             try:
                 candidate_graph = build_state_graph(
-                    candidate_stg, max_states=max_states
+                    candidate_stg, max_states=max_states, kernel=kernel
                 )
             except InconsistentSTGError:
                 continue  # phase labelling was coincidental, not causal

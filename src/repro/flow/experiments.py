@@ -111,6 +111,7 @@ def _synthesize_timed(
     max_states: Optional[int],
     timeout: Optional[float],
     metrics_box: Optional[Dict[str, object]] = None,
+    kernel: Optional[str] = None,
 ) -> Tuple[Optional[object], float, str]:
     """Run one synthesis under an optional wall-clock budget.
 
@@ -122,12 +123,16 @@ def _synthesize_timed(
     """
     work_stg = stg if timeout is None else stg.copy()
     if metrics_box is None:
-        task = lambda: synthesize(work_stg, method=method, max_states=max_states)
+        task = lambda: synthesize(
+            work_stg, method=method, max_states=max_states, kernel=kernel
+        )
     else:
 
         def task():
             with current_tracer().span("method", method=method) as span:
-                result = synthesize(work_stg, method=method, max_states=max_states)
+                result = synthesize(
+                    work_stg, method=method, max_states=max_states, kernel=kernel
+                )
             if span.live:
                 metrics_box[method] = span_summary(span)
             return result
@@ -140,6 +145,7 @@ def _resolve_timed(
     max_states: Optional[int],
     timeout: Optional[float],
     metrics_box: Optional[Dict[str, object]] = None,
+    kernel: Optional[str] = None,
 ) -> Tuple[Optional[object], float, str]:
     """Run one CSC resolution under the same wall-clock regime as synthesis.
 
@@ -150,12 +156,12 @@ def _resolve_timed(
 
     work_stg = stg if timeout is None else stg.copy()
     if metrics_box is None:
-        task = lambda: resolve_csc(work_stg, max_states=max_states)
+        task = lambda: resolve_csc(work_stg, max_states=max_states, kernel=kernel)
     else:
 
         def task():
             with current_tracer().span("method", method="csc-resolve") as span:
-                result = resolve_csc(work_stg, max_states=max_states)
+                result = resolve_csc(work_stg, max_states=max_states, kernel=kernel)
             if span.live:
                 metrics_box["csc"] = span_summary(span)
             return result
@@ -172,6 +178,7 @@ def run_table1(
     timeout: Optional[float] = None,
     resolve_encoding: bool = False,
     engine: Optional[str] = None,
+    kernel: Optional[str] = None,
     collect_metrics: bool = False,
     progress: Optional[Callable[[Dict[str, object]], None]] = None,
 ) -> List[Table1Row]:
@@ -208,7 +215,9 @@ def run_table1(
     ``engine`` retargets the SG-based methods onto one state-space backend
     (see :func:`apply_engine`); every row reports the backend in its
     ``engine`` column, plus a per-method ``<method>_engine`` column for the
-    SG methods.
+    SG methods.  ``kernel`` selects the explicit engine's BFS/coding-sweep
+    backend (``"auto"``/``None``, ``"numpy"``, ``"python"``) for the SG
+    methods and the shared CSC resolution pass.
 
     With ``collect_metrics`` every row gains ``<method>_metrics`` blobs
     (elapsed / peak RSS / subtree counters / per-phase times, see
@@ -259,7 +268,7 @@ def run_table1(
                 method_stg = stg
                 if resolve_encoding:
                     encoding, _elapsed, resolve_outcome = _resolve_timed(
-                        stg, max_states, timeout, metrics_box
+                        stg, max_states, timeout, metrics_box, kernel
                     )
                     row["csc_outcome"] = resolve_outcome
                     if metrics_box is not None and "csc" in metrics_box:
@@ -274,7 +283,7 @@ def run_table1(
                 simulated_method: Optional[str] = None
                 for method in methods:
                     result, elapsed, outcome = _synthesize_timed(
-                        method_stg, method, max_states, timeout, metrics_box
+                        method_stg, method, max_states, timeout, metrics_box, kernel
                     )
                     prefix = method
                     row["%s_outcome" % prefix] = outcome
@@ -346,6 +355,7 @@ def run_figure6(
     max_states: Optional[int] = 300000,
     timeout: Optional[float] = None,
     engine: Optional[str] = None,
+    kernel: Optional[str] = None,
     collect_metrics: bool = False,
     progress: Optional[Callable[[Dict[str, object]], None]] = None,
 ) -> List[Dict[str, object]]:
@@ -354,10 +364,11 @@ def run_figure6(
     ``method_limits`` maps a method name to the largest number of *signals*
     it is attempted on (mirroring how the paper reports SIS and Petrify
     dropping out as the specification grows); beyond the limit the method's
-    entry is ``None``.  ``timeout`` is a per-method wall-clock budget and
-    ``engine`` retargets the SG methods onto one backend; see
-    :func:`run_table1`.  The genuinely symbolic ``sg-bdd`` engine scales
-    past the explicit cut-off, hence its higher default limit.
+    entry is ``None``.  ``timeout`` is a per-method wall-clock budget,
+    ``engine`` retargets the SG methods onto one backend and ``kernel``
+    selects the explicit engine's BFS backend; see :func:`run_table1`.
+    The genuinely symbolic ``sg-bdd`` engine scales past the explicit
+    cut-off, hence its higher default limit.
     """
     if method_limits is None:
         method_limits = {"sg-explicit": 12, "sg-bdd": 18, "unfolding-exact": 14}
@@ -383,7 +394,7 @@ def run_figure6(
                         row["%s_outcome" % method] = "skipped"
                         continue
                     result, elapsed, outcome = _synthesize_timed(
-                        stg, method, max_states, timeout, metrics_box
+                        stg, method, max_states, timeout, metrics_box, kernel
                     )
                     row[method] = round(elapsed, 4) if result is not None else None
                     row["%s_outcome" % method] = outcome

@@ -1,0 +1,68 @@
+"""repro.kernel -- optional vectorised hot-path kernels.
+
+The packed core (:mod:`repro.core`) turned every state into a handful of
+Python ints; this layer is the next 10-100x: numpy ``uint64`` bitset
+matrices (states x words) that replace the remaining per-state Python
+loops -- explicit BFS frontier expansion, excitation-mask sweeps and the
+pairwise USC/CSC code-comparison joins -- with whole-frontier array
+operations.
+
+numpy is a *proper optional extra* (``pip install repro-synth[kernel]``):
+this module holds the single capability probe, and every consumer goes
+through :func:`resolve_kernel` with an explicit ``kernel`` choice
+(``"auto"`` / ``"numpy"`` / ``"python"``) instead of silently guessing
+from imports.  The pure-python packed implementations remain the reference
+behind the :class:`~repro.spaces.StateSpace` protocol; requesting
+``kernel="numpy"`` without numpy installed is a hard error, never a silent
+downgrade.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "HAS_NUMPY",
+    "KERNELS",
+    "numpy_or_none",
+    "resolve_kernel",
+]
+
+#: The accepted values of every ``kernel`` parameter / ``--kernel`` flag.
+KERNELS = ("auto", "numpy", "python")
+
+try:  # the single capability probe for the whole package
+    import numpy as _np  # type: ignore
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+#: True when the numpy kernel layer is importable.
+HAS_NUMPY = _np is not None
+
+
+def numpy_or_none():
+    """The probed numpy module, or ``None`` when the extra is not installed."""
+    return _np
+
+
+def resolve_kernel(kernel: Optional[str]) -> str:
+    """Resolve a kernel choice to the concrete backend (``numpy``/``python``).
+
+    ``None`` and ``"auto"`` pick numpy when available and fall back to the
+    pure-python reference otherwise; ``"numpy"`` demands the vectorised
+    kernel (raising :class:`RuntimeError` when the optional extra is
+    missing, so batch runs fail loudly instead of silently running 100x
+    slower); ``"python"`` forces the reference implementation.
+    """
+    if kernel is None or kernel == "auto":
+        return "numpy" if HAS_NUMPY else "python"
+    if kernel == "numpy":
+        if not HAS_NUMPY:
+            raise RuntimeError(
+                "kernel='numpy' requested but numpy is not installed "
+                "(pip install repro-synth[kernel])"
+            )
+        return "numpy"
+    if kernel == "python":
+        return "python"
+    raise ValueError("unknown kernel %r (choose from %s)" % (kernel, KERNELS))

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..boolean import Cover
+from ..kernel import resolve_kernel
 from ..stategraph import (
     SignalRegions,
     StateGraph,
@@ -38,14 +39,16 @@ class ExplicitStateSpace(StateSpace):
         max_states: Optional[int] = None,
         packed: Optional[bool] = None,
         graph: Optional[StateGraph] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         super().__init__(stg)
         #: The underlying explicit graph -- consumers that genuinely need
         #: per-state data (encoding resolution, simulation oracles) unwrap
         #: it; protocol-level consumers never have to.
         self.graph = graph if graph is not None else build_state_graph(
-            stg, max_states=max_states, packed=packed
+            stg, max_states=max_states, packed=packed, kernel=kernel
         )
+        self.kernel = kernel
         self._regions: Dict[str, SignalRegions] = {}
 
     @property
@@ -133,11 +136,11 @@ class ExplicitStateSpace(StateSpace):
     # State-coding checks
     # ------------------------------------------------------------------ #
     def check_usc(self) -> CodingReport:
-        report = check_usc(self.graph)
+        report = check_usc(self.graph, kernel=self.kernel)
         return self._coding_report(report, with_signals=False)
 
     def check_csc(self) -> CodingReport:
-        report = check_csc(self.graph)
+        report = check_csc(self.graph, kernel=self.kernel)
         return self._coding_report(report, with_signals=True)
 
     def _coding_report(self, report, with_signals: bool) -> CodingReport:
@@ -164,6 +167,18 @@ class ExplicitStateSpace(StateSpace):
     def signature_groups(self) -> Dict[int, List[Tuple[int, int]]]:
         graph = self.graph
         implementable_mask = graph.signal_table.mask_of(self.stg.implementable_signals)
+        if resolve_kernel(self.kernel) == "numpy":
+            from ..kernel import numpy_or_none
+            from ..kernel.bitset import graph_arrays, signature_groups_kernel
+
+            arrays = graph_arrays(graph)
+            if arrays is not None:
+                np = numpy_or_none()
+                codes, excited_plus, excited_minus = arrays
+                signatures = (excited_plus | excited_minus) & np.uint64(
+                    implementable_mask
+                )
+                return signature_groups_kernel(codes, signatures)
         plus = graph._excited_plus
         minus = graph._excited_minus
         by_code: Dict[int, Dict[int, int]] = {}

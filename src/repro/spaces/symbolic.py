@@ -49,6 +49,8 @@ class SymbolicStateSpace(StateSpace):
         stg,
         max_states: Optional[int] = None,
         max_iterations: Optional[int] = None,
+        fixpoint: str = "saturation",
+        dynamic_reorder: bool = True,
     ) -> None:
         super().__init__(stg)
         if not stg.has_complete_initial_state():
@@ -58,7 +60,12 @@ class SymbolicStateSpace(StateSpace):
                 "the symbolic engine requires a safe, weight-1 net"
             )
         self._engine = SymbolicNet(
-            stg.net, stg=stg, max_iterations=max_iterations, max_states=max_states
+            stg.net,
+            stg=stg,
+            max_iterations=max_iterations,
+            max_states=max_states,
+            fixpoint=fixpoint,
+            dynamic_reorder=dynamic_reorder,
         )
         self._reached = self._engine.reachable_set()
         self._check_well_formed()
@@ -89,13 +96,30 @@ class SymbolicStateSpace(StateSpace):
 
     @property
     def iterations(self) -> int:
-        """Chaining passes of the symbolic fixed point (diagnostics)."""
+        """Passes/rounds of the symbolic fixed point (diagnostics)."""
         return self._engine.iterations
 
     @property
     def num_bdd_nodes(self) -> int:
         """Allocated BDD nodes (the symbolic analogue of state count)."""
         return self._engine.bdd.num_nodes
+
+    @property
+    def peak_bdd_nodes(self) -> int:
+        """Largest node-store size seen during the fixed point."""
+        return max(self._engine.peak_nodes, self._engine.bdd.num_nodes)
+
+    @property
+    def gc_runs(self) -> int:
+        return self._engine.bdd.gc_runs
+
+    @property
+    def nodes_reclaimed(self) -> int:
+        return self._engine.bdd.nodes_reclaimed
+
+    @property
+    def reorder_passes(self) -> int:
+        return self._engine.bdd.reorder_passes
 
     # ------------------------------------------------------------------ #
     # Size queries

@@ -13,8 +13,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
+from ..kernel import resolve_kernel
 from ..stg.signals import SignalType
 from .stategraph import StateGraph
 
@@ -72,21 +73,39 @@ def _as_space_report(graph, kind: str):
     return None
 
 
-def check_usc(graph: StateGraph) -> CSCReport:
+def _kernel_arrays(graph, kernel: Optional[str]):
+    """uint64 graph vectors when the numpy kernel should run, else ``None``."""
+    if resolve_kernel(kernel) != "numpy":
+        return None
+    from ..kernel.bitset import graph_arrays
+
+    return graph_arrays(graph)
+
+
+def check_usc(graph: StateGraph, kernel: Optional[str] = None) -> CSCReport:
     """Check Unique State Coding: every reachable marking has a unique code.
 
     Conflict pairs are reported sorted (``(low, high)`` per pair, pairs in
     lexicographic order) so reports are deterministic and directly
     comparable across state-graph engines.  Accepts a
     :class:`~repro.spaces.StateSpace` as well (see :func:`_as_space_report`).
+    ``kernel`` selects the sweep backend: the numpy kernel sorts the code
+    vector once instead of bucketing states through a dict, emitting the
+    identical conflict list.
     """
     report = _as_space_report(graph, "USC")
     if report is not None:
         return report
+    arrays = _kernel_arrays(graph, kernel)
+    if arrays is not None:
+        from ..kernel.bitset import coding_conflict_pairs
+
+        conflicts = coding_conflict_pairs(arrays[0])
+        return CSCReport(not conflicts, conflicts, "USC")
     by_code: Dict[int, List[int]] = {}
     for state, code in enumerate(graph.packed_codes):
         by_code.setdefault(code, []).append(state)
-    conflicts: List[Tuple[int, int]] = []
+    conflicts = []
     for states in by_code.values():
         for i in range(len(states)):
             for j in range(i + 1, len(states)):
@@ -95,7 +114,7 @@ def check_usc(graph: StateGraph) -> CSCReport:
     return CSCReport(not conflicts, conflicts, "USC")
 
 
-def check_csc(graph: StateGraph) -> CSCReport:
+def check_csc(graph: StateGraph, kernel: Optional[str] = None) -> CSCReport:
     """Check Complete State Coding.
 
     Two states with equal binary codes must have the same set of excited
@@ -107,19 +126,30 @@ def check_csc(graph: StateGraph) -> CSCReport:
     implementable signals -- an int comparison instead of set algebra.
     Conflict pairs are reported sorted, like :func:`check_usc`; a
     :class:`~repro.spaces.StateSpace` argument is dispatched to the
-    protocol.
+    protocol, and ``kernel`` selects the numpy sorted-run sweep the same
+    way.
     """
     report = _as_space_report(graph, "CSC")
     if report is not None:
         return report
     implementable_mask = graph.signal_table.mask_of(graph.stg.implementable_signals)
+    arrays = _kernel_arrays(graph, kernel)
+    if arrays is not None:
+        from ..kernel import numpy_or_none
+        from ..kernel.bitset import coding_conflict_pairs
+
+        np = numpy_or_none()
+        codes, excited_plus, excited_minus = arrays
+        signatures = (excited_plus | excited_minus) & np.uint64(implementable_mask)
+        conflicts = coding_conflict_pairs(codes, signatures)
+        return CSCReport(not conflicts, conflicts, "CSC")
     by_code: Dict[int, List[int]] = {}
     for state, code in enumerate(graph.packed_codes):
         by_code.setdefault(code, []).append(state)
 
     plus = graph._excited_plus
     minus = graph._excited_minus
-    conflicts: List[Tuple[int, int]] = []
+    conflicts = []
     for states in by_code.values():
         if len(states) < 2:
             continue

@@ -34,6 +34,7 @@ from ..core import (
     pack_code,
     unpack_code,
 )
+from ..kernel import resolve_kernel
 from ..obs import NULL_SPAN, current_tracer
 from ..petrinet import Marking, StateSpaceLimitExceeded
 from ..stg import STG, STGError
@@ -70,7 +71,17 @@ class StateGraph:
         self.signals: List[str] = stg.signals
         self.signal_table = SignalTable(self.signals)
         self.packed_codes: List[int] = []
-        self.edges: List[Tuple[int, str, int]] = []
+        self._edges: List[Tuple[int, str, int]] = []
+        # Kernel-built graphs keep edges as compact (src, transition-index,
+        # tgt) uint32 arrays; tuples and adjacency dicts materialise lazily.
+        self._kernel_edges: Optional[tuple] = None
+        self._edges_ready = True
+        self._adjacency_ready = True
+        # uint64 views of codes/excitation masks, set by the numpy kernel
+        # (or cached by repro.kernel.bitset.graph_arrays on first sweep).
+        self._kernel_codes = None
+        self._kernel_excited_plus = None
+        self._kernel_excited_minus = None
         self._codec = codec
         self._packed_markings: Optional[List[int]] = [] if codec is not None else None
         self._marking_list: Union[List[Marking], LazyDecodedList]
@@ -145,7 +156,7 @@ class StateGraph:
         return cached
 
     def _add_edge(self, source: int, transition: str, target: int) -> None:
-        self.edges.append((source, transition, target))
+        self._edges.append((source, transition, target))
         self._successors[source].append((transition, target))
         self._predecessors[target].append((transition, source))
         bit, rising = self._transition_bit(transition)
@@ -155,6 +166,34 @@ class StateGraph:
             else:
                 self._excited_minus[source] |= bit
 
+    def _set_kernel_edges(self, src, t_idx, tgt, transitions) -> None:
+        """Adopt the kernel's compact edge arrays (uint32 each).
+
+        Tuple edges and the adjacency dicts are rebuilt from the arrays on
+        first access -- frontier/region/CSC sweeps never pay for them.
+        """
+        self._kernel_edges = (src, t_idx, tgt, tuple(transitions))
+        self._edges_ready = False
+        self._adjacency_ready = False
+
+    def _materialise_edges(self) -> None:
+        src, t_idx, tgt, names = self._kernel_edges
+        self._edges = [
+            (s, names[t], g)
+            for s, t, g in zip(src.tolist(), t_idx.tolist(), tgt.tolist())
+        ]
+        self._edges_ready = True
+
+    def _materialise_adjacency(self) -> None:
+        src, t_idx, tgt, names = self._kernel_edges
+        successors = self._successors
+        predecessors = self._predecessors
+        for s, t, g in zip(src.tolist(), t_idx.tolist(), tgt.tolist()):
+            name = names[t]
+            successors[s].append((name, g))
+            predecessors[g].append((name, s))
+        self._adjacency_ready = True
+
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
@@ -163,8 +202,17 @@ class StateGraph:
         return len(self.packed_codes)
 
     @property
+    def edges(self) -> List[Tuple[int, str, int]]:
+        """``(source, transition, target)`` triples, in discovery order."""
+        if not self._edges_ready:
+            self._materialise_edges()
+        return self._edges
+
+    @property
     def num_edges(self) -> int:
-        return len(self.edges)
+        if not self._edges_ready:
+            return int(self._kernel_edges[0].size)
+        return len(self._edges)
 
     def __len__(self) -> int:
         return len(self.packed_codes)
@@ -200,6 +248,8 @@ class StateGraph:
 
         Returns the stored list -- callers must not mutate it.
         """
+        if not self._adjacency_ready:
+            self._materialise_adjacency()
         return self._successors[state]
 
     def predecessors(self, state: int) -> List[Tuple[str, int]]:
@@ -207,9 +257,13 @@ class StateGraph:
 
         Returns the stored list -- callers must not mutate it.
         """
+        if not self._adjacency_ready:
+            self._materialise_adjacency()
         return self._predecessors[state]
 
     def enabled_transitions(self, state: int) -> List[str]:
+        if not self._adjacency_ready:
+            self._materialise_adjacency()
         return [transition for transition, _target in self._successors[state]]
 
     def signal_value(self, state: int, signal: str) -> int:
@@ -268,6 +322,8 @@ class StateGraph:
         return self._code_index.get(target, [])
 
     def deadlock_states(self) -> List[int]:
+        if not self._adjacency_ready:
+            self._materialise_adjacency()
         return [i for i in range(self.num_states) if not self._successors[i]]
 
     def reachable_codes(self) -> Set[Tuple[int, ...]]:
@@ -292,6 +348,7 @@ def build_state_graph(
     max_states: Optional[int] = None,
     check_consistency: bool = True,
     packed: Optional[bool] = None,
+    kernel: Optional[str] = None,
 ) -> StateGraph:
     """Build the State Graph of an STG by breadth-first exploration.
 
@@ -305,10 +362,29 @@ def build_state_graph(
     is safe and weight-1, falling back transparently otherwise.  Forcing
     ``packed=True`` on a net that cannot be packed raises
     :class:`~repro.core.UnsafeNetError` instead of downgrading.
+
+    ``kernel`` selects the frontier-expansion backend (see
+    :func:`repro.kernel.resolve_kernel`): ``"numpy"`` vectorises the packed
+    BFS over whole waves, ``"python"`` forces the reference loop, ``None`` /
+    ``"auto"`` picks numpy when installed.  The numpy kernel produces a
+    bit-identical graph (state numbering, edge order, excitation masks) and
+    quietly defers to the reference loop for specs it cannot hold (codes
+    wider than 64 signals, non-packable nets, ``packed=False``).
     """
     if not stg.has_complete_initial_state():
         stg.infer_initial_state()
+    use_kernel = resolve_kernel(kernel) == "numpy" and packed is not False
     with current_tracer().span("reachability", engine="explicit", stg=stg.name) as span:
+        if use_kernel and PackedNet.is_packable(stg.net):
+            from ..kernel.bitset import supports_graph
+
+            if supports_graph(stg):
+                try:
+                    return _build_kernel(stg, max_states, check_consistency, span)
+                except UnsafeNetError:
+                    if packed is True:
+                        raise
+                    return _build_legacy(stg, max_states, check_consistency, span)
         if packed is True:
             return _build_packed(stg, max_states, check_consistency, span)
         if packed is None and PackedNet.is_packable(stg.net):
@@ -337,6 +413,20 @@ def _inconsistent_codes(
             "".join(map(str, existing_code)),
             "".join(map(str, new_code)),
         )
+    )
+
+
+def _build_kernel(
+    stg: STG, max_states: Optional[int], check_consistency: bool, span=NULL_SPAN
+) -> StateGraph:
+    """Packed BFS on the numpy bitset kernel (identical output, wave-at-a-time)."""
+    from ..kernel.bitset import kernel_bfs
+
+    pnet = PackedNet(stg.net)
+    graph = StateGraph(stg, codec=pnet.codec)
+    return kernel_bfs(
+        stg, pnet, graph, max_states=max_states,
+        check_consistency=check_consistency, span=span,
     )
 
 

@@ -81,6 +81,7 @@ def synthesize_from_sg(
     max_states: Optional[int] = None,
     raise_on_csc: bool = False,
     packed: Optional[bool] = None,
+    kernel: Optional[str] = None,
 ) -> SGSynthesisResult:
     """Synthesise every implementable signal from the state space.
 
@@ -103,10 +104,15 @@ def synthesize_from_sg(
         engine (explicit engine only); defaults to packed whenever the net
         qualifies.  Used by the equivalence test-suite to compare both
         representations.
+    kernel:
+        BFS / coding-sweep backend for the explicit engine
+        (``"auto"``/``None``, ``"numpy"``, ``"python"``).
     """
     obs = current_tracer()
     start = time.perf_counter()
-    space = build_state_space(stg, engine=engine, max_states=max_states, packed=packed)
+    space = build_state_space(
+        stg, engine=engine, max_states=max_states, packed=packed, kernel=kernel
+    )
     build_time = time.perf_counter() - start
 
     signals = stg.signals

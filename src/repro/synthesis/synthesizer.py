@@ -135,6 +135,7 @@ def synthesize(
     resolve_encoding: bool = False,
     max_csc_signals: int = 3,
     engine: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> SynthesisResult:
     """Synthesise a speed-independent implementation of an STG.
 
@@ -145,7 +146,9 @@ def synthesize(
     methods (ignored by the unfolding methods, which never build the SG).
     ``engine`` overrides the state-space backend implied by the SG method
     name (``"sg-explicit"`` + ``engine="bdd"`` runs symbolically); the
-    unfolding methods ignore it.
+    unfolding methods ignore it.  ``kernel`` selects the explicit engine's
+    BFS / coding-sweep backend (``"auto"``/``None``, ``"numpy"``,
+    ``"python"``).
 
     With ``resolve_encoding`` the specification's CSC conflicts are first
     resolved by inserting up to ``max_csc_signals`` internal state signals
@@ -171,7 +174,9 @@ def synthesize(
             elif encoding.resolved:
                 encoding = None  # already CSC-clean: nothing to report
 
-        result = _dispatch(stg, method, architecture, raise_on_csc, max_states, packed, engine)
+        result = _dispatch(
+            stg, method, architecture, raise_on_csc, max_states, packed, engine, kernel
+        )
         result.encoding = encoding
         if span.live:
             span.gauge("literals", result.literal_count)
@@ -188,6 +193,7 @@ def _dispatch(
     max_states: Optional[int],
     packed: Optional[bool],
     engine: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> SynthesisResult:
     if method == "unfolding-approx":
         result = synthesize_approx_from_unfolding(
@@ -224,6 +230,7 @@ def _dispatch(
         max_states=max_states,
         raise_on_csc=raise_on_csc,
         packed=packed,
+        kernel=kernel,
     )
     return SynthesisResult(
         method,

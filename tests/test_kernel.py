@@ -1,0 +1,164 @@
+"""The numpy bitset kernel must be a bit-identical drop-in.
+
+``kernel="numpy"`` replaces the per-state Python loops of the explicit
+engine -- BFS frontier expansion, excitation-mask sweeps, the pairwise
+USC/CSC code joins -- with whole-frontier ``uint64`` array operations.
+These tests pin the contract down hard: across the Table 1 suite and the
+Muller-pipeline family the kernel build must produce the *same graph* as
+the reference (state numbering, packed codes, edges, excitation masks),
+the same USC/CSC conflict lists and the same signature groups, and the
+``resolve_kernel`` probe must fail loudly (never silently downgrade) when
+numpy is demanded but missing.
+"""
+
+import pytest
+
+import repro.kernel as kernel_mod
+from repro.kernel import HAS_NUMPY, resolve_kernel
+from repro.petrinet import StateSpaceLimitExceeded
+from repro.spaces import ExplicitStateSpace
+from repro.stategraph import build_state_graph, check_csc, check_usc
+from repro.stategraph.stategraph import InconsistentSTGError
+from repro.stg import STG, muller_pipeline, table1_suite
+from repro.stg.signals import SignalType
+
+requires_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+
+
+def _specs():
+    """(id, builder) pairs: the Table 1 suite plus muller 2..8."""
+    pairs = [(entry.name, entry.build) for entry in table1_suite()]
+    for stages in range(2, 9):
+        pairs.append(
+            ("muller_%d" % stages, lambda stages=stages: muller_pipeline(stages))
+        )
+    return pairs
+
+
+SPECS = _specs()
+SPEC_IDS = [spec_id for spec_id, _ in SPECS]
+SPEC_BUILDERS = [builder for _, builder in SPECS]
+
+
+# --------------------------------------------------------------------- #
+# Probe / resolution
+# --------------------------------------------------------------------- #
+def test_resolve_kernel_auto_and_none_follow_the_probe():
+    expected = "numpy" if HAS_NUMPY else "python"
+    assert resolve_kernel(None) == expected
+    assert resolve_kernel("auto") == expected
+
+
+def test_resolve_kernel_python_is_always_available():
+    assert resolve_kernel("python") == "python"
+
+
+def test_resolve_kernel_unknown_rejected():
+    with pytest.raises(ValueError):
+        resolve_kernel("cuda")
+
+
+def test_resolve_kernel_numpy_demand_fails_loudly_without_numpy(monkeypatch):
+    monkeypatch.setattr(kernel_mod, "HAS_NUMPY", False)
+    with pytest.raises(RuntimeError):
+        resolve_kernel("numpy")
+    # auto silently falls back instead
+    assert resolve_kernel("auto") == "python"
+
+
+@requires_numpy
+def test_resolve_kernel_numpy_demand_honoured_with_numpy():
+    assert resolve_kernel("numpy") == "numpy"
+
+
+# --------------------------------------------------------------------- #
+# Graph equivalence: kernel BFS vs reference BFS
+# --------------------------------------------------------------------- #
+@requires_numpy
+@pytest.mark.parametrize("builder", SPEC_BUILDERS, ids=SPEC_IDS)
+def test_kernel_graph_identical_to_reference(builder):
+    reference = build_state_graph(builder(), kernel="python")
+    vectorised = build_state_graph(builder(), kernel="numpy")
+    assert vectorised.num_states == reference.num_states
+    assert list(vectorised.packed_codes) == list(reference.packed_codes)
+    assert list(vectorised.markings) == list(reference.markings)
+    assert vectorised.num_edges == reference.num_edges
+    assert list(vectorised.edges) == list(reference.edges)
+    assert vectorised._excited_plus == reference._excited_plus
+    assert vectorised._excited_minus == reference._excited_minus
+    for state in range(reference.num_states):
+        assert vectorised.successors(state) == reference.successors(state)
+    assert vectorised.deadlock_states() == reference.deadlock_states()
+
+
+@requires_numpy
+def test_kernel_honours_max_states():
+    with pytest.raises(StateSpaceLimitExceeded):
+        build_state_graph(muller_pipeline(4), max_states=5, kernel="numpy")
+
+
+@requires_numpy
+def test_kernel_detects_inconsistent_stg():
+    stg = STG("bad")
+    stg.add_signal("a", SignalType.OUTPUT, initial=0)
+    t1 = stg.add_transition("a+")
+    t2 = stg.add_transition("a+")
+    start = stg.add_place("s", tokens=1)
+    stg.add_arc(start, t1)
+    stg.connect(t1, t2)
+    with pytest.raises(InconsistentSTGError):
+        build_state_graph(stg, kernel="numpy")
+
+
+# --------------------------------------------------------------------- #
+# Coding-sweep equivalence: USC / CSC / signature groups
+# --------------------------------------------------------------------- #
+@requires_numpy
+@pytest.mark.parametrize("builder", SPEC_BUILDERS, ids=SPEC_IDS)
+def test_kernel_usc_csc_identical_to_reference(builder):
+    graph = build_state_graph(builder(), kernel="numpy")
+    usc_py = check_usc(graph, kernel="python")
+    usc_np = check_usc(graph, kernel="numpy")
+    assert usc_np.satisfied == usc_py.satisfied
+    assert usc_np.conflicts == usc_py.conflicts
+    csc_py = check_csc(graph, kernel="python")
+    csc_np = check_csc(graph, kernel="numpy")
+    assert csc_np.satisfied == csc_py.satisfied
+    assert csc_np.conflicts == csc_py.conflicts
+
+
+@requires_numpy
+@pytest.mark.parametrize("builder", SPEC_BUILDERS, ids=SPEC_IDS)
+def test_kernel_signature_groups_identical_to_reference(builder):
+    stg = builder()
+    vectorised = ExplicitStateSpace(stg, kernel="numpy")
+    reference = ExplicitStateSpace(stg, kernel="python")
+    assert vectorised.signature_groups() == reference.signature_groups()
+
+
+# --------------------------------------------------------------------- #
+# Capability fallback
+# --------------------------------------------------------------------- #
+@requires_numpy
+def test_kernel_falls_back_on_unpackable_request():
+    # packed=False forces the legacy dict-of-tuples representation, which
+    # the kernel cannot drive; the build must silently use the reference.
+    graph = build_state_graph(muller_pipeline(4), packed=False, kernel="numpy")
+    reference = build_state_graph(muller_pipeline(4), packed=False, kernel="python")
+    assert graph.num_states == reference.num_states
+
+
+@requires_numpy
+def test_kernel_arrays_cached_and_consistent():
+    from repro.kernel.bitset import graph_arrays
+
+    graph = build_state_graph(muller_pipeline(4), kernel="numpy")
+    first = graph_arrays(graph)
+    assert first is not None
+    codes, plus, minus = first
+    assert codes.shape == (graph.num_states,)
+    assert [int(c) for c in codes] == list(graph.packed_codes)
+    assert [int(p) for p in plus] == list(graph._excited_plus)
+    assert [int(m) for m in minus] == list(graph._excited_minus)
+    again = graph_arrays(graph)
+    assert again[0] is first[0]  # cached, not rebuilt
