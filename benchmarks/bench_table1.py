@@ -19,10 +19,13 @@ end-to-end before/after numbers, and the unfolding engine's state-recovery
 rate in both the state-pruned packed walk and the per-cut legacy reference
 walk), so the perf trajectory of the packed state core is tracked commit
 over commit.  The Table 1 rows include the unfolding-exact method next to
-unfolding-approx and the SG baseline.  Two encoding-layer entries ride
+unfolding-approx and the SG baseline.  Three encoding-layer entries ride
 along: ``csc_check_states_per_sec`` (rate of the packed USC+CSC sweep on
-``muller_pipeline(12)``) and ``csc_resolution_largest`` (end-to-end
-``resolve_csc`` on the largest non-CSC generator, ``csc_arbiter(8)``).
+``muller_pipeline(12)``), ``csc_resolution_largest`` (end-to-end
+``resolve_csc`` on the largest non-CSC generator, ``csc_arbiter(8)``) and
+``csc_incremental_resolution`` (per-round incremental State Graph
+maintenance vs full rebuild across that resolution, with the dirty states
+re-explored per round).
 Two symbolic-engine entries track the ``repro.spaces`` BDD backend:
 ``symbolic_reachability_states_per_sec`` (characteristic-function fixed
 point + symbolic USC/CSC on ``muller_pipeline(16)``, 262144 states --
@@ -326,6 +329,94 @@ def _time_csc_resolution(clients=8, max_signals=6):
     }
 
 
+def _time_csc_incremental_resolution(clients=8, max_signals=6, repeats=5):
+    """Incremental vs full-rebuild State Graph maintenance during resolution.
+
+    Replays the accepted insertion sequence of a ``csc_arbiter(8)``
+    resolution and times, per round, growing the current graph through the
+    edit (:func:`repro.stategraph.extend_state_graph`) against rebuilding
+    it from the initial state -- the work the incremental path actually
+    replaces.  End-to-end ``resolve_csc`` wall times in both modes ride
+    along for context (they also include the mode-independent candidate
+    ranking, which dominates on this generator).
+    """
+    import random
+
+    from repro.encoding import (
+        candidate_regions,
+        choose_insertion,
+        conflict_cores,
+        fresh_signal_name,
+        make_insertion_edit,
+        num_conflict_pairs,
+    )
+    from repro.stategraph import InconsistentSTGError, extend_state_graph
+
+    start = time.perf_counter()
+    inc_result = resolve_csc(
+        csc_arbiter(clients), max_signals=max_signals, incremental=True
+    )
+    resolve_incremental = time.perf_counter() - start
+    start = time.perf_counter()
+    full_result = resolve_csc(
+        csc_arbiter(clients), max_signals=max_signals, incremental=False
+    )
+    resolve_full = time.perf_counter() - start
+
+    stg = csc_arbiter(clients)
+    graph = build_state_graph(stg)
+    rng = random.Random(0)
+    t_inc = t_full = 0.0
+    reexplored = []
+    while len(reexplored) < len(inc_result.inserted):
+        cores = conflict_cores(graph)
+        ranked = choose_insertion(graph, cores, candidate_regions(graph), rng)
+        current = num_conflict_pairs(cores)
+        signal = fresh_signal_name(stg)
+        accepted = None
+        for _gain, region in ranked[:16]:
+            edit = make_insertion_edit(stg, region, signal)
+            try:
+                candidate = extend_state_graph(graph, edit)
+            except InconsistentSTGError:
+                continue
+            if candidate is None:
+                continue
+            pairs = num_conflict_pairs(conflict_cores(candidate))
+            if pairs >= current:
+                continue
+            accepted = (edit, candidate)
+            if pairs == 0:
+                break
+        if accepted is None:
+            break
+        edit, candidate = accepted
+        start = time.perf_counter()
+        for _ in range(repeats):
+            extend_state_graph(graph, edit)
+        t_inc += (time.perf_counter() - start) / repeats
+        start = time.perf_counter()
+        for _ in range(repeats):
+            build_state_graph(edit.stg)
+        t_full += (time.perf_counter() - start) / repeats
+        reexplored.append(candidate.incremental_stats["states_reexplored"])
+        stg, graph = edit.stg, candidate
+
+    return {
+        "benchmark": "csc_arbiter_%d" % clients,
+        "rounds": len(reexplored),
+        "states_reexplored_per_round": reexplored,
+        "final_states": graph.num_states,
+        "incremental_seconds": round(t_inc, 4),
+        "full_rebuild_seconds": round(t_full, 4),
+        "speedup": round(t_full / t_inc, 2) if t_inc else None,
+        "resolve_incremental_seconds": round(resolve_incremental, 4),
+        "resolve_full_seconds": round(resolve_full, 4),
+        "signals_added": inc_result.num_inserted,
+        "resolved": bool(inc_result.resolved and full_result.resolved),
+    }
+
+
 def collect_json(max_signals=14, baseline_seconds=None, unfolding_baseline_seconds=None):
     """Measure the perf numbers the repo tracks across commits."""
     entries = [e for e in table1_suite() if e.expected_signals <= max_signals]
@@ -362,6 +453,7 @@ def collect_json(max_signals=14, baseline_seconds=None, unfolding_baseline_secon
         },
         "csc_check_states_per_sec": _time_csc_check(),
         "csc_resolution_largest": _time_csc_resolution(),
+        "csc_incremental_resolution": _time_csc_incremental_resolution(),
         "symbolic_reachability_states_per_sec": _time_symbolic_reachability(),
         "explicit_vs_symbolic_crossover": _time_engine_crossover(),
         "bdd_reorder_muller16": _time_bdd_reorder(),
@@ -472,6 +564,18 @@ def main(argv=None):
     print(
         "muller_pipeline(12) USC+CSC check: %.3fs (%s states/s)"
         % (csc["seconds"], csc["states_per_sec"])
+    )
+    incremental = report["csc_incremental_resolution"]
+    print(
+        "%s incremental maintenance: %.4fs vs %.4fs rebuild (%sx), "
+        "reexplored/round=%s"
+        % (
+            incremental["benchmark"],
+            incremental["incremental_seconds"],
+            incremental["full_rebuild_seconds"],
+            incremental["speedup"],
+            incremental["states_reexplored_per_round"],
+        )
     )
     resolution = report["csc_resolution_largest"]
     print(

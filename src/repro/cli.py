@@ -189,6 +189,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-resolve", action="store_true", help="only report conflicts, do not insert"
     )
     csc.add_argument("--seed", type=int, default=0, help="candidate tie-break seed")
+    # Paired flags instead of BooleanOptionalAction: the CLI supports 3.9.
+    csc.add_argument(
+        "--incremental",
+        dest="incremental",
+        action="store_true",
+        default=True,
+        help="update the State Graph in place per insertion round, "
+        "re-exploring only the splice's dirty region (default)",
+    )
+    csc.add_argument(
+        "--no-incremental",
+        dest="incremental",
+        action="store_false",
+        help="rebuild the State Graph from the initial state every round",
+    )
     csc.add_argument(
         "--fail-on-unresolved",
         action="store_true",
@@ -425,12 +440,14 @@ def _cmd_csc(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 max_states=args.max_states,
                 kernel=args.kernel,
+                incremental=args.incremental,
             )
             row["inserted"] = ",".join(result.inserted)
             row["conflicts_after"] = result.conflicts_after
             row["resolved"] = result.resolved
             row["resolved_states"] = result.graph.num_states
             row["seconds"] = round(result.elapsed, 4)
+            row["rounds_inc"] = result.rounds_incremental
             if result.projection is not None and not result.projection.ok:
                 for line in result.projection.failures:
                     print("# projection violation [%s]: %s" % (stg.name, line))
@@ -443,7 +460,8 @@ def _cmd_csc(args: argparse.Namespace) -> int:
         rows.append(row)
     columns = [
         "benchmark", "engine", "states", "conflicts", "inserted",
-        "conflicts_after", "resolved_states", "seconds", "resolved",
+        "conflicts_after", "resolved_states", "rounds_inc", "seconds",
+        "resolved",
     ]
     print(format_table(rows, columns))
     if args.output:

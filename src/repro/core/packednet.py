@@ -45,6 +45,7 @@ class PackedNet:
         "presets",
         "postsets",
         "initial",
+        "structural_version",
         "_transition_index",
     )
 
@@ -53,6 +54,10 @@ class PackedNet:
         if not weights_ok:
             raise UnsafeNetError(reason)
         self.net = net
+        #: The net's structural stamp at compile time; :meth:`is_stale`
+        #: compares it against the live net so callers never replay the
+        #: token game of a mutated net against stale masks.
+        self.structural_version = getattr(net, "structural_version", 0)
         self.codec = MarkingCodec.for_net(net)
         self.transitions: Tuple[str, ...] = net.transitions
         places = self.codec.places
@@ -76,6 +81,10 @@ class PackedNet:
         per-firing safety check raises :class:`UnsafeNetError` in that case.
         """
         return _packable(net)[0]
+
+    def is_stale(self) -> bool:
+        """True when the source net mutated after this compile."""
+        return getattr(self.net, "structural_version", 0) != self.structural_version
 
     # ------------------------------------------------------------------ #
     # Token game on packed markings

@@ -34,7 +34,13 @@ Pipeline (all on the packed State Graph representation):
 
 from .conflicts import ConflictCore, conflict_cores, num_conflict_pairs, separation_gain
 from .conformance import ProjectionReport, projection_conforms
-from .insertion import apply_insertion, choose_insertion, estimate_cost, fresh_signal_name
+from .insertion import (
+    apply_insertion,
+    choose_insertion,
+    estimate_cost,
+    fresh_signal_name,
+    make_insertion_edit,
+)
 from .regions import InsertionRegion, candidate_regions, legal_splice_points
 from .resolve import EncodingResult, resolve_csc
 
@@ -49,6 +55,7 @@ __all__ = [
     "choose_insertion",
     "estimate_cost",
     "fresh_signal_name",
+    "make_insertion_edit",
     "InsertionRegion",
     "candidate_regions",
     "legal_splice_points",

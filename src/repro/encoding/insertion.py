@@ -27,13 +27,20 @@ import random
 from typing import Dict, List, Optional, Tuple
 
 from ..boolean import Cover, espresso
+from ..spaces.base import InsertionEdit
 from ..stategraph import StateGraph, dc_set_cover, states_to_cover
 from ..stg import STG
 from ..stg.signals import SignalType
 from .conflicts import ConflictCore, separation_gain
 from .regions import InsertionRegion
 
-__all__ = ["apply_insertion", "choose_insertion", "estimate_cost", "fresh_signal_name"]
+__all__ = [
+    "apply_insertion",
+    "choose_insertion",
+    "estimate_cost",
+    "fresh_signal_name",
+    "make_insertion_edit",
+]
 
 
 def fresh_signal_name(stg: STG, prefix: str = "csc") -> str:
@@ -143,3 +150,27 @@ def apply_insertion(stg: STG, region: InsertionRegion, signal: str) -> STG:
         if takeover is not None:
             result.connect(transition, takeover)
     return result
+
+
+def make_insertion_edit(
+    stg: STG, region: InsertionRegion, signal: str
+) -> InsertionEdit:
+    """Apply a region's rewrite and package it as an :class:`InsertionEdit`.
+
+    The edit object is what the state-space engines' incremental
+    :meth:`~repro.spaces.StateSpace.apply_insertion` consumes: the rewritten
+    STG plus the splice pair, the region's packed phase mask over the source
+    graph's state indices, and the implicit places the splice introduced.
+    """
+    rewritten = apply_insertion(stg, region, signal)
+    before = set(stg.places)
+    new_places = [place for place in rewritten.places if place not in before]
+    return InsertionEdit(
+        rewritten,
+        signal,
+        region.t_on,
+        region.t_off,
+        region.initial_value,
+        phase_mask=region.mask_on,
+        new_places=new_places,
+    )

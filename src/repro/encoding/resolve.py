@@ -2,8 +2,11 @@
 
 ``resolve_csc`` drives the whole encoding subsystem: detect conflict cores
 on the packed State Graph, enumerate legal insertion regions, greedily
-insert one fresh internal signal per round and rebuild the (packed) State
-Graph, until Complete State Coding holds or the signal budget is exhausted.
+insert one fresh internal signal per round and update the (packed) State
+Graph -- incrementally by default, re-exploring only the dirty region the
+splice perturbs (:func:`~repro.stategraph.extend_state_graph`), cold
+rebuild on request or as fallback -- until Complete State Coding holds or
+the signal budget is exhausted.
 
 Every accepted insertion is *validated on the rebuilt graph*: the rewritten
 STG must stay consistent (the new signal alternates), must not add output
@@ -28,11 +31,17 @@ from ..stategraph import (
     build_state_graph,
     check_csc,
     check_output_persistency,
+    extend_state_graph,
 )
 from ..stg import STG
 from .conflicts import conflict_cores, num_conflict_pairs
 from .conformance import ProjectionReport, projection_conforms
-from .insertion import apply_insertion, choose_insertion, fresh_signal_name
+from .insertion import (
+    apply_insertion,
+    choose_insertion,
+    fresh_signal_name,
+    make_insertion_edit,
+)
 from .regions import candidate_regions
 
 __all__ = ["EncodingResult", "resolve_csc"]
@@ -64,6 +73,14 @@ class EncodingResult:
         was inserted or validation was disabled).
     elapsed:
         Wall-clock seconds spent resolving.
+    rounds_incremental:
+        How many accepted rounds extended the graph in place instead of
+        rebuilding it (0 when ``incremental=False`` or the fast path never
+        applied).
+    states_reexplored:
+        Per accepted incremental round, the number of dirty states the
+        extension actually re-explored (``None`` when no round was
+        incremental).
     """
 
     def __init__(
@@ -77,6 +94,8 @@ class EncodingResult:
         conflicts_after: int,
         projection: Optional[ProjectionReport],
         elapsed: float,
+        rounds_incremental: int = 0,
+        states_reexplored: Optional[List[int]] = None,
     ) -> None:
         self.original_stg = original_stg
         self.stg = stg
@@ -87,6 +106,8 @@ class EncodingResult:
         self.conflicts_after = conflicts_after
         self.projection = projection
         self.elapsed = elapsed
+        self.rounds_incremental = rounds_incremental
+        self.states_reexplored = states_reexplored
 
     @property
     def num_inserted(self) -> int:
@@ -117,6 +138,7 @@ def resolve_csc(
     max_states: Optional[int] = None,
     validate: bool = True,
     kernel: Optional[str] = None,
+    incremental: bool = True,
 ) -> EncodingResult:
     """Resolve the CSC conflicts of an STG by inserting internal signals.
 
@@ -139,14 +161,30 @@ def resolve_csc(
         persistency violations, and the final result is checked for
         projection conformance against the original specification.
     kernel:
-        BFS backend for the State Graph rebuilds (``"auto"``/``None``,
-        ``"numpy"``, ``"python"``) -- the inner loop rebuilds the graph
-        once per validated candidate, so the numpy kernel pays off on
-        large specifications.
+        BFS backend for the State Graph builds (``"auto"``/``None``,
+        ``"numpy"``, ``"python"``) -- used by both the full rebuilds and
+        the dirty-region BFS of the incremental path.
+    incremental:
+        When True (default), each validated candidate extends the current
+        graph in place via
+        :func:`~repro.stategraph.extend_state_graph` -- re-exploring only
+        the dirty region around the splice -- instead of rebuilding from
+        the initial state; the cold rebuild remains as an automatic
+        fallback whenever the fast path does not apply.  The accepted
+        resolution is identical either way (the equivalence suite checks
+        this per round); only the cost differs.
     """
     with current_tracer().span("csc", stage="resolve", stg=stg.name) as span:
         return _resolve_csc(
-            stg, graph, max_signals, seed, max_states, validate, kernel, span
+            stg,
+            graph,
+            max_signals,
+            seed,
+            max_states,
+            validate,
+            kernel,
+            incremental,
+            span,
         )
 
 
@@ -158,6 +196,7 @@ def _resolve_csc(
     max_states: Optional[int],
     validate: bool,
     kernel: Optional[str],
+    incremental: bool,
     span,
 ) -> EncodingResult:
     start = time.perf_counter()
@@ -172,6 +211,8 @@ def _resolve_csc(
         len(check_output_persistency(graph)) if validate and cores else 0
     )
     inserted: List[str] = []
+    rounds_incremental = 0
+    reexplored_rounds: List[int] = []
 
     while cores and len(inserted) < max_signals:
         span.counter("rounds")
@@ -179,20 +220,39 @@ def _resolve_csc(
         ranked = choose_insertion(graph, cores, regions, rng)
         current_pairs = num_conflict_pairs(cores)
         signal = fresh_signal_name(stg)
-        # Rebuild-and-measure the top-ranked regions and keep the one that
-        # leaves the fewest conflicting pairs: the static gain ignores both
-        # the intermediate states an insertion adds and the conflicts the
-        # new signal's own excitation can create.
-        best = None  # (pairs_after, stg, graph, cores)
+        # Measure the top-ranked regions on their resulting graph and keep
+        # the one that leaves the fewest conflicting pairs: the static gain
+        # ignores both the intermediate states an insertion adds and the
+        # conflicts the new signal's own excitation can create.  Under
+        # ``incremental`` the measuring graph is grown from the current one
+        # (dirty-region re-exploration); otherwise it is rebuilt cold.
+        best = None  # (pairs_after, stg, graph, cores, reexplored)
         for _gain, region in ranked[:MAX_VALIDATIONS_PER_ROUND]:
             span.counter("candidates_validated")
-            candidate_stg = apply_insertion(stg, region, signal)
-            try:
-                candidate_graph = build_state_graph(
-                    candidate_stg, max_states=max_states, kernel=kernel
-                )
-            except InconsistentSTGError:
-                continue  # phase labelling was coincidental, not causal
+            candidate_graph = None
+            reexplored = None
+            if incremental:
+                edit = make_insertion_edit(stg, region, signal)
+                candidate_stg = edit.stg
+                try:
+                    candidate_graph = extend_state_graph(
+                        graph, edit, max_states=max_states, kernel=kernel
+                    )
+                except InconsistentSTGError:
+                    continue  # phase labelling was coincidental, not causal
+                if candidate_graph is not None:
+                    reexplored = candidate_graph.incremental_stats[
+                        "states_reexplored"
+                    ]
+            else:
+                candidate_stg = apply_insertion(stg, region, signal)
+            if candidate_graph is None:
+                try:
+                    candidate_graph = build_state_graph(
+                        candidate_stg, max_states=max_states, kernel=kernel
+                    )
+                except InconsistentSTGError:
+                    continue  # phase labelling was coincidental, not causal
             candidate_cores = conflict_cores(candidate_graph)
             pairs_after = num_conflict_pairs(candidate_cores)
             if pairs_after >= current_pairs:
@@ -202,13 +262,25 @@ def _resolve_csc(
                 if len(violations) > baseline_violations:
                     continue
             if best is None or pairs_after < best[0]:
-                best = (pairs_after, candidate_stg, candidate_graph, candidate_cores)
+                best = (
+                    pairs_after,
+                    candidate_stg,
+                    candidate_graph,
+                    candidate_cores,
+                    reexplored,
+                )
                 if pairs_after == 0:
                     break
         if best is None:
             break
-        _pairs, stg, graph, cores = best
+        _pairs, stg, graph, cores, reexplored = best
         inserted.append(signal)
+        if reexplored is not None:
+            rounds_incremental += 1
+            reexplored_rounds.append(reexplored)
+            span.counter("rounds_incremental")
+            if span.live:
+                span.append("states_reexplored", reexplored)
 
     report = check_csc(graph)
     projection: Optional[ProjectionReport] = None
@@ -220,6 +292,8 @@ def _resolve_csc(
         span.gauge("signals_inserted", len(inserted))
         span.gauge("conflicts_before", conflicts_before)
         span.gauge("conflicts_after", num_conflict_pairs(cores))
+        span.gauge("incremental", incremental)
+        span.gauge("rounds_incremental", rounds_incremental)
         span.gauge("resolved", report.satisfied and (projection is None or projection.ok))
     return EncodingResult(
         original_stg=original_stg,
@@ -233,4 +307,6 @@ def _resolve_csc(
         conflicts_after=num_conflict_pairs(cores),
         projection=projection,
         elapsed=time.perf_counter() - start,
+        rounds_incremental=rounds_incremental,
+        states_reexplored=reexplored_rounds or None,
     )

@@ -146,6 +146,7 @@ def _resolve_timed(
     timeout: Optional[float],
     metrics_box: Optional[Dict[str, object]] = None,
     kernel: Optional[str] = None,
+    incremental: bool = True,
 ) -> Tuple[Optional[object], float, str]:
     """Run one CSC resolution under the same wall-clock regime as synthesis.
 
@@ -156,12 +157,19 @@ def _resolve_timed(
 
     work_stg = stg if timeout is None else stg.copy()
     if metrics_box is None:
-        task = lambda: resolve_csc(work_stg, max_states=max_states, kernel=kernel)
+        task = lambda: resolve_csc(
+            work_stg, max_states=max_states, kernel=kernel, incremental=incremental
+        )
     else:
 
         def task():
             with current_tracer().span("method", method="csc-resolve") as span:
-                result = resolve_csc(work_stg, max_states=max_states, kernel=kernel)
+                result = resolve_csc(
+                    work_stg,
+                    max_states=max_states,
+                    kernel=kernel,
+                    incremental=incremental,
+                )
             if span.live:
                 metrics_box["csc"] = span_summary(span)
             return result
@@ -177,6 +185,7 @@ def run_table1(
     conformance_max_states: Optional[int] = 100000,
     timeout: Optional[float] = None,
     resolve_encoding: bool = False,
+    incremental: bool = True,
     engine: Optional[str] = None,
     kernel: Optional[str] = None,
     collect_metrics: bool = False,
@@ -210,7 +219,8 @@ def run_table1(
     resolution pass, which counts towards the row's aggregate outcome).
     Without it the columns are still present: ``csc_signals_added`` is 0 and
     ``csc_resolved`` reports whether the specification needed no encoding
-    work.
+    work.  ``incremental`` selects in-place State Graph maintenance during
+    the resolution pass (the default) versus a cold rebuild every round.
 
     ``engine`` retargets the SG-based methods onto one state-space backend
     (see :func:`apply_engine`); every row reports the backend in its
@@ -268,7 +278,7 @@ def run_table1(
                 method_stg = stg
                 if resolve_encoding:
                     encoding, _elapsed, resolve_outcome = _resolve_timed(
-                        stg, max_states, timeout, metrics_box, kernel
+                        stg, max_states, timeout, metrics_box, kernel, incremental
                     )
                     row["csc_outcome"] = resolve_outcome
                     if metrics_box is not None and "csc" in metrics_box:

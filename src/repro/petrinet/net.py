@@ -41,6 +41,11 @@ class PetriNet:
         self._place_postsets: Dict[str, Set[str]] = {}
         self._place_presets: Dict[str, Set[str]] = {}
         self._initial: Dict[str, int] = {}
+        #: Monotonic stamp bumped by every structural mutation (places,
+        #: transitions, arcs, initial tokens).  Compiled views of the net
+        #: (PackedNet, kernel array caches) record the stamp they were built
+        #: against and refuse to serve a mutated net silently.
+        self.structural_version = 0
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -54,8 +59,10 @@ class PetriNet:
             self._place_set.add(place)
             self._place_postsets[place] = set()
             self._place_presets[place] = set()
+            self.structural_version += 1
         if tokens:
             self._initial[place] = self._initial.get(place, 0) + tokens
+            self.structural_version += 1
         return place
 
     def add_transition(self, transition: str) -> str:
@@ -67,6 +74,7 @@ class PetriNet:
             self._transition_set.add(transition)
             self._presets[transition] = {}
             self._postsets[transition] = {}
+            self.structural_version += 1
         return transition
 
     def add_arc(self, source: str, target: str, weight: int = 1) -> None:
@@ -83,6 +91,7 @@ class PetriNet:
             raise PetriNetError(
                 "arc must connect a place and a transition: %r -> %r" % (source, target)
             )
+        self.structural_version += 1
 
     def set_initial_tokens(self, place: str, tokens: int) -> None:
         """Set (overwrite) the initial token count of a place."""
@@ -94,6 +103,7 @@ class PetriNet:
             self._initial[place] = tokens
         else:
             self._initial.pop(place, None)
+        self.structural_version += 1
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -16,13 +16,14 @@ layer and the CLI dispatch through.
 
 from typing import Optional
 
-from .base import CodingReport, StateSpace
+from .base import CodingReport, InsertionEdit, StateSpace
 from .explicit import ExplicitStateSpace
 from .symbolic import SymbolicStateSpace
 
 __all__ = [
     "StateSpace",
     "CodingReport",
+    "InsertionEdit",
     "ExplicitStateSpace",
     "SymbolicStateSpace",
     "build_state_space",

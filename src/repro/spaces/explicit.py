@@ -20,10 +20,11 @@ from ..stategraph import (
     check_csc,
     check_usc,
     dc_set_cover,
+    extend_state_graph,
     states_to_cover,
 )
 from ..stg.signals import Direction
-from .base import CodingReport, StateSpace
+from .base import CodingReport, InsertionEdit, StateSpace
 
 __all__ = ["ExplicitStateSpace"]
 
@@ -49,11 +50,36 @@ class ExplicitStateSpace(StateSpace):
             stg, max_states=max_states, packed=packed, kernel=kernel
         )
         self.kernel = kernel
+        self.max_states = max_states
         self._regions: Dict[str, SignalRegions] = {}
 
     @property
     def explicit_graph(self) -> StateGraph:
         return self.graph
+
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance
+    # ------------------------------------------------------------------ #
+    def apply_insertion(self, edit: InsertionEdit) -> "ExplicitStateSpace":
+        """Space of ``edit.stg`` grown from this graph's survivors.
+
+        Delegates to :func:`~repro.stategraph.extend_state_graph` (dirty
+        region re-exploration from the splice frontier); when the fast path
+        does not apply it falls back to a cold rebuild, so the result is
+        always a valid space for the edited STG.  Consistency, safety and
+        state-budget errors propagate exactly as a cold rebuild raises
+        them.
+        """
+        graph = extend_state_graph(
+            self.graph, edit, max_states=self.max_states, kernel=self.kernel
+        )
+        if graph is None:
+            return ExplicitStateSpace(
+                edit.stg, max_states=self.max_states, kernel=self.kernel
+            )
+        space = ExplicitStateSpace(edit.stg, graph=graph, kernel=self.kernel)
+        space.incremental_stats = graph.incremental_stats
+        return space
 
     # ------------------------------------------------------------------ #
     # Size queries

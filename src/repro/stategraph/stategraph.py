@@ -100,6 +100,13 @@ class StateGraph:
         self._transition_bits: Dict[str, Tuple[int, int]] = {}
         self._codes_cache: Optional[List[Tuple[int, ...]]] = None
         self._code_index: Optional[Dict[int, List[int]]] = None
+        # Monotonic mutation stamp: bumped by every state/edge addition so
+        # derived array caches (repro.kernel.bitset.graph_arrays) invalidate
+        # on *any* mutation, not just on state-count changes -- adding an
+        # edge alone changes the excitation masks without adding a state.
+        self._version = 0
+        # Stamp the kernel arrays were captured at (-1 = never captured).
+        self._kernel_version = -1
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -138,6 +145,7 @@ class StateGraph:
         self._excited_minus.append(0)
         self._codes_cache = None
         self._code_index = None
+        self._version += 1
         return index
 
     def _transition_bit(self, transition: str) -> Tuple[int, int]:
@@ -159,6 +167,7 @@ class StateGraph:
         self._edges.append((source, transition, target))
         self._successors[source].append((transition, target))
         self._predecessors[target].append((transition, source))
+        self._version += 1
         bit, rising = self._transition_bit(transition)
         if bit:
             if rising:
@@ -175,6 +184,7 @@ class StateGraph:
         self._kernel_edges = (src, t_idx, tgt, tuple(transitions))
         self._edges_ready = False
         self._adjacency_ready = False
+        self._version += 1
 
     def _materialise_edges(self) -> None:
         src, t_idx, tgt, names = self._kernel_edges
