@@ -26,7 +26,19 @@ import sys
 from typing import List, Optional, Sequence
 
 from .kernel import KERNELS
-from .obs import Tracer, load_history, render_dashboard, set_tracer, span_summary
+from .obs import (
+    EventStream,
+    FileSink,
+    LiveRenderer,
+    Tracer,
+    attach_stream,
+    evaluate,
+    format_report,
+    load_history,
+    render_dashboard,
+    set_tracer,
+    span_summary,
+)
 from .flow import (
     apply_engine,
     format_table,
@@ -68,6 +80,19 @@ def _add_obs_flags(command: argparse.ArgumentParser) -> None:
         "--metrics",
         action="store_true",
         help="collect per-phase metrics and print an aggregate summary",
+    )
+    command.add_argument(
+        "--events",
+        dest="events_path",
+        metavar="FILE",
+        default=None,
+        help="stream structured JSONL events (span open/close, progress, "
+        "heartbeats) to this file while the run executes",
+    )
+    command.add_argument(
+        "--live",
+        action="store_true",
+        help="render live progress (phase, rates, batch heartbeats) on stderr",
     )
 
 
@@ -161,6 +186,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--resolve-encoding",
         action="store_true",
         help="resolve CSC conflicts by signal insertion before synthesis (table1 only)",
+    )
+    batch.add_argument(
+        "--stall-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="diagnose a worker as stalled (and capture its stack over "
+        "SIGUSR1) after this long without progress evidence (default: 150)",
     )
     _add_kernel_flag(batch)
     _add_obs_flags(batch)
@@ -266,6 +299,21 @@ def build_parser() -> argparse.ArgumentParser:
     dashboard.add_argument(
         "--max-entries", type=int, default=20, help="history rows to show (newest last)"
     )
+    dashboard.add_argument(
+        "--check",
+        action="store_true",
+        help="run the perf-regression sentinel instead of rendering: compare "
+        "the newest history entry against the median of the prior runs and "
+        "exit non-zero if a tracked metric regressed beyond its threshold",
+    )
+    dashboard.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="override every per-metric threshold with this percentage "
+        "(e.g. 25 means flag any >25%% regression)",
+    )
     return parser
 
 
@@ -355,6 +403,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             engine=args.engine,
             kernel=args.kernel,
             collect_metrics=args.metrics,
+            stall_after=args.stall_after,
         )
         columns = ["benchmark", "signals", "TotTim", "LitCnt"]
         if any(method.startswith("sg-") for method in methods):
@@ -374,6 +423,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             task_timeout=args.timeout,
             kernel=args.kernel,
             collect_metrics=args.metrics,
+            stall_after=args.stall_after,
         )
         columns = ["stages", "signals"] + list(args.methods)
     columns.append("outcome")
@@ -510,6 +560,11 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
     history = load_history(args.input)
     if not history:
         raise SystemExit("no benchmark history in %r" % args.input)
+    if args.check:
+        threshold = args.threshold / 100.0 if args.threshold is not None else None
+        checks = evaluate(history, threshold=threshold)
+        print(format_report(checks))
+        return 1 if any(check.regressed for check in checks) else 0
     text = render_dashboard(history, max_entries=args.max_entries)
     if args.output:
         with open(args.output, "w") as handle:
@@ -537,24 +592,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handler = handlers[args.command]
     trace_path = getattr(args, "trace_path", None)
     want_metrics = bool(getattr(args, "metrics", False))
-    if not (trace_path or want_metrics):
+    events_path = getattr(args, "events_path", None)
+    want_live = bool(getattr(args, "live", False))
+    if not (trace_path or want_metrics or events_path or want_live):
         return handler(args)
     # One process-wide tracer spans the whole command; the instrumented
     # layers (parse, reachability, covers, csc, conformance...) attach their
     # spans automatically.  Batch workers run in separate processes and
-    # instead return their metrics inside the merged rows.
+    # instead return their metrics inside the merged rows (the parent's
+    # watchdog translates their beat files into heartbeat events).
     tracer = Tracer(args.command)
+    stream = None
+    sinks: List[object] = []
+    if events_path:
+        sinks.append(FileSink(events_path))
+    if want_live:
+        sinks.append(LiveRenderer())
+    if sinks:
+        stream = EventStream(sinks)
+        attach_stream(tracer, stream)
     previous = set_tracer(tracer)
     try:
         status = handler(args)
     finally:
         set_tracer(previous)
         tracer.finish()
+        if stream is not None:
+            stream.close()
         if want_metrics:
             print("# metrics %s" % json.dumps(span_summary(tracer.root), sort_keys=True))
         if trace_path:
             tracer.write_json(trace_path)
             print("# wrote trace %s" % trace_path)
+        if events_path:
+            print("# wrote events %s" % events_path)
     return status
 
 

@@ -257,7 +257,10 @@ def run_table1(
     with own_tracer:
         obs = current_tracer()
         boxes = collect_metrics and obs.enabled
-        for entry in entries:
+        for row_index, entry in enumerate(entries):
+            # Suite-level completion for the live view (deterministic:
+            # row index over suite size, recorded on the enclosing span).
+            obs.current.progress(row_index, len(entries))
             with obs.span("table1_row", benchmark=entry.name):
                 stg = entry.build()
                 row = Table1Row(
@@ -355,6 +358,7 @@ def run_table1(
             rows.append(row)
             if progress is not None:
                 progress(row)
+        obs.current.progress(len(entries), len(entries))
     return rows
 
 
@@ -392,7 +396,8 @@ def run_figure6(
     with own_tracer:
         obs = current_tracer()
         boxes = collect_metrics and obs.enabled
-        for stages in stage_counts:
+        for row_index, stages in enumerate(stage_counts):
+            obs.current.progress(row_index, len(stage_counts))
             stg = muller_pipeline(stages)
             row: Dict[str, object] = {"stages": stages, "signals": stg.num_signals}
             metrics_box: Optional[Dict[str, object]] = {} if boxes else None
@@ -417,6 +422,7 @@ def run_figure6(
             rows.append(row)
             if progress is not None:
                 progress(row)
+        obs.current.progress(len(stage_counts), len(stage_counts))
     return rows
 
 

@@ -224,6 +224,10 @@ def kernel_bfs(stg, pnet, graph, max_states=None, check_consistency=True, span=N
             marks[hi:total] = succ[sel]
             codes[hi:total] = succ_codes[sel]
             wave_sizes.append(total - hi)
+        if live:
+            # One progress event per BFS wave -- wave totals are identical
+            # across identical runs, so the trace stays deterministic.
+            span.progress(total, max_states)
         lo, hi = hi, total
 
     nstates = len(packed_codes)

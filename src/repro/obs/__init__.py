@@ -7,6 +7,13 @@ BFS, the BDD engine, the unfolder and espresso, JSON export with a schema
 validator, and the BENCH history dashboard behind ``repro-synth
 dashboard``.
 
+Round 2 adds the *live* half: :mod:`repro.obs.events` streams structured
+JSONL events (span open/close, counter milestones, ``span.progress``)
+into pluggable sinks while a run executes, :mod:`repro.obs.live` renders
+them as a stderr status line, and :mod:`repro.obs.sentinel` closes the
+loop by checking a fresh BENCH report against the recorded history
+(``repro-synth dashboard --check``).
+
 Typical use::
 
     from repro import obs
@@ -36,7 +43,15 @@ from .tracer import (
     span_summary,
     tracing,
 )
-from .schema import TRACE_SCHEMA, TraceSchemaError, validate_span, validate_trace
+from .schema import (
+    EVENT_SCHEMA,
+    TRACE_SCHEMA,
+    TraceSchemaError,
+    validate_event,
+    validate_events_file,
+    validate_span,
+    validate_trace,
+)
 from .dashboard import (
     git_short_rev,
     load_history,
@@ -44,6 +59,15 @@ from .dashboard import (
     render_dashboard,
     stamp_report,
 )
+from .events import (
+    EVENT_KINDS,
+    CallbackSink,
+    EventStream,
+    FileSink,
+    attach_stream,
+)
+from .live import LiveRenderer
+from .sentinel import TRACKED_METRICS, evaluate, format_report
 
 __all__ = [
     "Span",
@@ -57,12 +81,24 @@ __all__ = [
     "span_summary",
     "peak_rss_kb",
     "TRACE_SCHEMA",
+    "EVENT_SCHEMA",
     "TraceSchemaError",
     "validate_trace",
     "validate_span",
+    "validate_event",
+    "validate_events_file",
     "git_short_rev",
     "stamp_report",
     "merge_history",
     "load_history",
     "render_dashboard",
+    "EVENT_KINDS",
+    "EventStream",
+    "FileSink",
+    "CallbackSink",
+    "attach_stream",
+    "LiveRenderer",
+    "TRACKED_METRICS",
+    "evaluate",
+    "format_report",
 ]

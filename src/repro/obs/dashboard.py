@@ -128,6 +128,21 @@ def _get(entry: Dict[str, object], *path: str) -> object:
     return node
 
 
+def _fmt_delta(value: object, previous: object, digits: int = 3) -> str:
+    """Format ``value`` with its relative change vs ``previous`` inline,
+    e.g. ``0.480 (-3.9%)`` -- the Run history table uses this so a
+    regression is visible without running the sentinel."""
+    text = _fmt(value, digits)
+    if (
+        isinstance(value, (int, float)) and not isinstance(value, bool)
+        and isinstance(previous, (int, float)) and not isinstance(previous, bool)
+        and previous != 0
+    ):
+        change = 100.0 * (value - previous) / previous
+        text += " (%+.1f%%)" % change
+    return text
+
+
 def _table(headers: List[str], rows: List[List[str]]) -> str:
     lines = ["| " + " | ".join(headers) + " |",
              "|" + "|".join("---" for _ in headers) + "|"]
@@ -195,21 +210,32 @@ def render_dashboard(history: List[Dict[str, object]], max_entries: int = 20) ->
         "BDD nodes", "unfold recovery (st/s)", "CSC check (st/s)",
         "CSC resolve (s)", "crossover (stages)",
     ]
+    metric_paths = [
+        ("muller8_sg_explicit", "packed_engine", "seconds"),
+        ("symbolic_reachability_states_per_sec", "states_per_sec"),
+        ("symbolic_reachability_states_per_sec", "bdd_nodes"),
+        ("muller12_unfolding_state_recovery", "packed_state_dedup",
+         "states_per_sec"),
+        ("csc_check_states_per_sec", "states_per_sec"),
+        ("csc_resolution_largest", "seconds"),
+        ("explicit_vs_symbolic_crossover", "symbolic_wins_from_stages"),
+    ]
     rows = []
+    previous_entry: Optional[Dict[str, object]] = None
     for entry in shown:
-        rows.append([
+        row = [
             _fmt(entry.get("timestamp") or "--"),
             _fmt(entry.get("git_rev") or "--"),
-            _fmt(_get(entry, "muller8_sg_explicit", "packed_engine", "seconds")),
-            _fmt(_get(entry, "symbolic_reachability_states_per_sec", "states_per_sec")),
-            _fmt(_get(entry, "symbolic_reachability_states_per_sec", "bdd_nodes")),
-            _fmt(_get(entry, "muller12_unfolding_state_recovery",
-                      "packed_state_dedup", "states_per_sec")),
-            _fmt(_get(entry, "csc_check_states_per_sec", "states_per_sec")),
-            _fmt(_get(entry, "csc_resolution_largest", "seconds")),
-            _fmt(_get(entry, "explicit_vs_symbolic_crossover",
-                      "symbolic_wins_from_stages")),
-        ])
+        ]
+        for path in metric_paths:
+            value = _get(entry, *path)
+            previous = (
+                _get(previous_entry, *path) if previous_entry is not None
+                else None
+            )
+            row.append(_fmt_delta(value, previous))
+        rows.append(row)
+        previous_entry = entry
     sections.append(_table(headers, rows))
     sections.append("")
 

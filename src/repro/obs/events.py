@@ -1,0 +1,186 @@
+"""Streaming structured events for :mod:`repro.obs` -- round 2.
+
+PR 6's tracer produces a *post-hoc* span tree; this module adds the live
+half: an :class:`EventStream` that the tracer's emit hooks feed while a
+run executes.  Every span open/close, counter update, series sample and
+``span.progress(done, total)`` call becomes one JSON-serialisable dict::
+
+    {"seq": 17, "t": 0.0421, "kind": "progress",
+     "path": "table1/table1_row/method/reachability",
+     "done": 8192, "total": 65536}
+
+``seq`` is monotonic per stream (under a lock -- worker threads of the
+cooperative-timeout harness emit concurrently), ``t`` is seconds since
+the stream was created.  Events fan out to pluggable sinks:
+
+* :class:`FileSink` -- one JSON object per line (JSONL), flushed per
+  event so ``tail -f`` works on a running job;
+* :class:`CallbackSink` -- an in-process callable, the hook the ROADMAP's
+  synthesis-as-a-service job queue will use as its progress channel;
+* :class:`repro.obs.live.LiveRenderer` -- a stderr TTY status line.
+
+Counter/series/progress events are throttled per ``(path, name)`` by a
+wall-time interval so instrumented hot loops (which already ride the
+``span.live`` guard) cannot flood a sink; span open/close and the
+batch runner's ``heartbeat``/``stall``/``row`` events always pass.
+The deterministic trace document is unaffected: throttling drops
+*events*, never counter updates.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Event",
+    "EventStream",
+    "FileSink",
+    "CallbackSink",
+    "attach_stream",
+    "EVENT_KINDS",
+]
+
+Event = Dict[str, object]
+
+#: Every ``kind`` an event stream can carry.  The schema validator and the
+#: live renderer both key off this set.
+EVENT_KINDS = (
+    "span_open",
+    "span_close",
+    "counter",
+    "series",
+    "progress",
+    "heartbeat",
+    "stall",
+    "row",
+)
+
+
+class FileSink:
+    """JSONL sink: one event per line, flushed per event."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = open(path, "w")
+
+    def __call__(self, event: Event) -> None:
+        self._handle.write(json.dumps(event, sort_keys=True))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+class CallbackSink:
+    """Adapter wrapping a plain callable as a sink with a no-op close."""
+
+    def __init__(self, callback: Callable[[Event], None]) -> None:
+        self._callback = callback
+
+    def __call__(self, event: Event) -> None:
+        self._callback(event)
+
+    def close(self) -> None:
+        pass
+
+
+class EventStream:
+    """Fan events out to sinks with a monotonic ``seq`` and relative time.
+
+    The stream doubles as the tracer's *emitter*: :func:`attach_stream`
+    installs it on a :class:`repro.obs.tracer.Tracer`, whose spans then
+    call the ``span_open`` / ``span_close`` / ``on_counter`` /
+    ``on_sample`` / ``on_progress`` hooks below.  ``emit`` is also public
+    so non-span producers (the batch runner's heartbeat aggregation) can
+    write ``heartbeat`` / ``stall`` / ``row`` events into the same
+    ordered stream.
+    """
+
+    #: Minimum seconds between two counter/series/progress events for the
+    #: same ``(path, name)``.  Open/close/heartbeat/stall/row always pass.
+    min_interval = 0.25
+
+    def __init__(self, sinks: Optional[List[object]] = None,
+                 min_interval: Optional[float] = None) -> None:
+        self.sinks: List[object] = list(sinks) if sinks else []
+        if min_interval is not None:
+            self.min_interval = min_interval
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._origin = time.perf_counter()
+        self._last_emit: Dict[Tuple[str, str], float] = {}
+
+    # -- producing ----------------------------------------------------
+
+    def emit(self, kind: str, path: str, **fields: object) -> Event:
+        """Build, sequence and fan out one event (thread-safe)."""
+        now = time.perf_counter() - self._origin
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            event: Event = {"seq": seq, "t": round(now, 6),
+                            "kind": kind, "path": path}
+            event.update(fields)
+            for sink in self.sinks:
+                sink(event)
+        return event
+
+    def _throttled(self, kind: str, path: str, name: str, **fields: object) -> None:
+        """Emit unless the same (path, name) fired within ``min_interval``."""
+        key = (path, name)
+        now = time.perf_counter()
+        with self._lock:
+            last = self._last_emit.get(key)
+            if last is not None and now - last < self.min_interval:
+                return
+            self._last_emit[key] = now
+        self.emit(kind, path, name=name, **fields)
+
+    # -- tracer emit hooks (called from Span / _SpanContext) -----------
+
+    def span_open(self, span) -> None:
+        self.emit("span_open", span.path, name=span.name,
+                  attrs=dict(span.attrs) if span.attrs else {})
+
+    def span_close(self, span) -> None:
+        self.emit("span_close", span.path, name=span.name,
+                  elapsed=round(span.elapsed, 6),
+                  counters=dict(span.counters))
+
+    def on_counter(self, span, name: str, value: object) -> None:
+        self._throttled("counter", span.path, name, value=value)
+
+    def on_sample(self, span, name: str, value: object) -> None:
+        self._throttled("series", span.path, name, value=value)
+
+    def on_progress(self, span, done: object, total: Optional[object]) -> None:
+        if total is None:
+            self._throttled("progress", span.path, "progress", done=done)
+        else:
+            self._throttled("progress", span.path, "progress",
+                            done=done, total=total)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+def attach_stream(tracer, stream: EventStream) -> EventStream:
+    """Install ``stream`` as ``tracer``'s emitter and open the root span.
+
+    The root span predates the attachment, so its path/emitter are set
+    here; nested spans inherit both through ``_SpanContext.__enter__``.
+    """
+    tracer.emitter = stream
+    tracer.root.emitter = stream
+    tracer.root.path = tracer.root.name
+    stream.span_open(tracer.root)
+    return stream

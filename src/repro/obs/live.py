@@ -1,0 +1,168 @@
+"""Stderr live renderer for :mod:`repro.obs.events` streams.
+
+A :class:`LiveRenderer` is an event sink that keeps one status line per
+run on stderr: the innermost open span path, its most informative rate
+(states/s through BFS and the symbolic fixpoint, BDD nodes/pass,
+extensions tried/added through the unfolder, espresso iterations), and a
+``done/total`` completion readout when the producer calls
+``span.progress``.  On a TTY the line is rewritten in place with ``\\r``;
+on a pipe it degrades to plain throttled lines so CI logs stay readable.
+
+Heartbeat / stall / row events from the batch runner always print on
+their own line -- those are the events a user watching a long batch
+actually cares about.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, Optional, Tuple
+
+__all__ = ["LiveRenderer"]
+
+#: Counter names worth showing as a rate, in preference order.  These are
+#: the counters PR 6 threads through the engines (see README's counter
+#: vocabulary): BFS/fixpoint state throughput first, then unfolder
+#: extension work, then espresso iterations.
+_RATE_COUNTERS = (
+    "states",
+    "events",
+    "extensions_added",
+    "extensions_tried",
+    "espresso_iterations",
+)
+
+
+class LiveRenderer:
+    """Event sink rendering a single live status line on a stream.
+
+    ``interval`` throttles repaints (seconds); heartbeat/stall/row events
+    bypass it.  The renderer is wall-time based and deliberately lossy --
+    it never feeds back into the deterministic trace.
+    """
+
+    def __init__(self, stream=None, interval: float = 0.2,
+                 tty: Optional[bool] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        if tty is None:
+            isatty = getattr(self.stream, "isatty", None)
+            tty = bool(isatty()) if isatty else False
+        self.tty = tty
+        self._last_paint = 0.0
+        self._line_open = False
+        # Innermost open path and per-(path, counter) first-seen samples
+        # for rate derivation: (first wall time, first value).
+        self._current_path = ""
+        self._first_sample: Dict[Tuple[str, str], Tuple[float, float]] = {}
+        self._latest: Dict[Tuple[str, str], object] = {}
+        self._progress: Dict[str, Tuple[object, object]] = {}
+
+    # -- sink protocol -------------------------------------------------
+
+    def __call__(self, event: Dict[str, object]) -> None:
+        kind = event.get("kind")
+        if kind in ("heartbeat", "stall", "row"):
+            self._print_line(self._format_batch(event))
+            return
+        path = str(event.get("path", ""))
+        if kind == "span_open":
+            self._current_path = path
+        elif kind == "span_close":
+            parent, _, _ = path.rpartition("/")
+            if self._current_path == path:
+                self._current_path = parent
+            self._progress.pop(path, None)
+        elif kind == "counter":
+            name = str(event.get("name", ""))
+            value = event.get("value")
+            self._latest[(path, name)] = value
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                key = (path, name)
+                if key not in self._first_sample:
+                    self._first_sample[key] = (time.perf_counter(), float(value))
+        elif kind == "series":
+            self._latest[(path, str(event.get("name", "")))] = event.get("value")
+        elif kind == "progress":
+            self._progress[path] = (event.get("done"), event.get("total"))
+        self._repaint()
+
+    def close(self) -> None:
+        if self._line_open:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._line_open = False
+
+    # -- rendering -----------------------------------------------------
+
+    def _rate(self, path: str, name: str) -> Optional[float]:
+        key = (path, name)
+        first = self._first_sample.get(key)
+        latest = self._latest.get(key)
+        if first is None or not isinstance(latest, (int, float)):
+            return None
+        t0, v0 = first
+        dt = time.perf_counter() - t0
+        if dt <= 0 or latest <= v0:
+            return None
+        return (float(latest) - v0) / dt
+
+    def _status(self) -> str:
+        path = self._current_path
+        parts = [path or "..."]
+        progress = self._progress.get(path)
+        if progress is not None:
+            done, total = progress
+            if total:
+                parts.append("%s/%s" % (done, total))
+            else:
+                parts.append(str(done))
+        for name in _RATE_COUNTERS:
+            rate = self._rate(path, name)
+            if rate is not None:
+                parts.append("%s/s=%.0f" % (name, rate))
+                break
+        value = self._latest.get((path, "pass_nodes"))
+        if value is not None:
+            parts.append("nodes/pass=%s" % value)
+        return "  ".join(parts)
+
+    def _format_batch(self, event: Dict[str, object]) -> str:
+        kind = event.get("kind")
+        if kind == "heartbeat":
+            return "[beat] %s pid=%s age=%.1fs" % (
+                event.get("row", event.get("path")),
+                event.get("pid", "?"),
+                float(event.get("age", 0.0)),
+            )
+        if kind == "stall":
+            return "[STALL] %s silent for %.1fs -- stack captured" % (
+                event.get("row", event.get("path")),
+                float(event.get("silent_for", 0.0)),
+            )
+        return "[row] %s outcome=%s elapsed=%.2fs" % (
+            event.get("row", event.get("path")),
+            event.get("outcome", "?"),
+            float(event.get("elapsed", 0.0)),
+        )
+
+    def _print_line(self, text: str) -> None:
+        if self._line_open:
+            self.stream.write("\r\x1b[K" if self.tty else "\n")
+            self._line_open = False
+        self.stream.write(text + "\n")
+        self.stream.flush()
+
+    def _repaint(self) -> None:
+        now = time.perf_counter()
+        if now - self._last_paint < self.interval:
+            return
+        self._last_paint = now
+        text = self._status()
+        if self.tty:
+            self.stream.write("\r\x1b[K" + text)
+            self._line_open = True
+        else:
+            self.stream.write(text + "\n")
+        self.stream.flush()

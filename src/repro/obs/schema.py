@@ -18,11 +18,22 @@ format produced by :meth:`repro.obs.Tracer.to_dict`:
             "series": {str: [int|float, ...]},
             "children": [SPAN, ...]}
 
-``validate_trace`` raises :class:`TraceSchemaError` carrying the JSON
-path of the first violation.  The module doubles as a CLI so CI can
-validate trace files directly::
+It also validates the JSONL event streams of :mod:`repro.obs.events`:
 
-    python -m repro.obs.schema trace.json
+.. code-block:: text
+
+    EVENT = {"seq": int >= 0 (monotonic per file),
+             "t": number >= 0,
+             "kind": one of repro.obs.events.EVENT_KINDS,
+             "path": str,
+             ...kind-specific fields}
+
+``validate_trace`` / ``validate_event`` raise :class:`TraceSchemaError`
+carrying the JSON path of the first violation.  The module doubles as a
+CLI so CI can validate a mixed batch of trace documents and event files
+in one invocation (the file kind is sniffed per file)::
+
+    python -m repro.obs.schema trace.json events.jsonl
 """
 
 from __future__ import annotations
@@ -30,7 +41,15 @@ from __future__ import annotations
 import json
 from typing import Dict, List
 
-__all__ = ["TRACE_SCHEMA", "TraceSchemaError", "validate_trace", "validate_span"]
+__all__ = [
+    "TRACE_SCHEMA",
+    "EVENT_SCHEMA",
+    "TraceSchemaError",
+    "validate_trace",
+    "validate_span",
+    "validate_event",
+    "validate_events_file",
+]
 
 #: Declarative description of the trace document, kept in the shape of a
 #: (subset of a) JSON Schema for documentation and introspection.  The
@@ -65,6 +84,30 @@ TRACE_SCHEMA: Dict[str, object] = {
                 },
             },
         }
+    },
+}
+
+
+#: Declarative description of one event-stream record (JSONL line).  As
+#: with :data:`TRACE_SCHEMA`, the executable validator is authoritative.
+EVENT_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["seq", "t", "kind", "path"],
+    "properties": {
+        "seq": {"type": "integer", "minimum": 0},
+        "t": {"type": "number", "minimum": 0},
+        "kind": {"enum": [
+            "span_open", "span_close", "counter", "series", "progress",
+            "heartbeat", "stall", "row",
+        ]},
+        "path": {"type": "string"},
+        "name": {"type": "string"},
+        "value": {"type": ["string", "number", "boolean", "null"]},
+        "done": {"type": "number"},
+        "total": {"type": "number"},
+        "elapsed": {"type": "number", "minimum": 0},
+        "attrs": {"type": "object"},
+        "counters": {"type": "object"},
     },
 }
 
@@ -165,27 +208,110 @@ def validate_trace(payload: object) -> None:
     validate_span(payload["root"], "root")
 
 
+_EVENT_KINDS = frozenset(
+    EVENT_SCHEMA["properties"]["kind"]["enum"]  # type: ignore[index]
+)
+
+#: Fields that, when present, must be numbers (ints or floats).
+_EVENT_NUMBER_FIELDS = ("done", "total", "elapsed")
+
+
+def validate_event(event: object, path: str = "$") -> None:
+    """Validate one event record; raises :class:`TraceSchemaError`."""
+    if not isinstance(event, dict):
+        _fail(path, "expected an object, got %s" % type(event).__name__)
+    for key in ("seq", "t", "kind", "path"):
+        if key not in event:
+            _fail(path, "missing required key %r" % key)
+    seq = event["seq"]
+    if isinstance(seq, bool) or not isinstance(seq, int) or seq < 0:
+        _fail(path + ".seq", "expected a non-negative integer")
+    _check_number(event["t"], path + ".t")
+    kind = event["kind"]
+    if kind not in _EVENT_KINDS:
+        _fail(path + ".kind", "unknown event kind %r" % (kind,))
+    if not isinstance(event["path"], str):
+        _fail(path + ".path", "expected a string")
+    name = event.get("name")
+    if name is not None and not isinstance(name, str):
+        _fail(path + ".name", "expected a string")
+    for key in _EVENT_NUMBER_FIELDS:
+        if key in event:
+            _check_number(event[key], "%s.%s" % (path, key))
+    for key in ("attrs", "counters"):
+        if key in event and not isinstance(event[key], dict):
+            _fail("%s.%s" % (path, key), "expected an object")
+
+
+def validate_events_file(path: str) -> int:
+    """Validate a JSONL event file: per-line schema plus strictly
+    monotonic ``seq``.  Returns the number of events validated."""
+    last_seq = -1
+    count = 0
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            where = "%s:%d" % (path, lineno)
+            try:
+                event = json.loads(line)
+            except ValueError as exc:
+                _fail(where, "not valid JSON (%s)" % exc)
+            validate_event(event, where)
+            if event["seq"] <= last_seq:
+                _fail(where + ".seq",
+                      "not monotonic (%d after %d)" % (event["seq"], last_seq))
+            last_seq = event["seq"]
+            count += 1
+    if count == 0:
+        _fail(path, "no events in file")
+    return count
+
+
+def _sniff_kind(path: str) -> str:
+    """``"trace"`` for a whole-document trace JSON, ``"events"`` for
+    JSONL.  A trace file is one (pretty-printed, multi-line) JSON object
+    with a ``root`` key; an event file is one object per line, so parsing
+    the whole file as a single document fails for any stream with more
+    than one event."""
+    with open(path) as handle:
+        text = handle.read()
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        return "events"
+    if isinstance(payload, dict) and "root" in payload:
+        return "trace"
+    return "events"
+
+
 def main(argv: List[str] = None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.schema",
-        description="Validate repro.obs trace JSON files.",
+        description="Validate repro.obs trace JSON and JSONL event files "
+                    "(the kind of each file is auto-detected).",
     )
-    parser.add_argument("files", nargs="+", help="trace files to validate")
+    parser.add_argument("files", nargs="+",
+                        help="trace documents and/or event streams")
     args = parser.parse_args(argv)
 
     status = 0
     for path in args.files:
         try:
-            with open(path) as handle:
-                payload = json.load(handle)
-            validate_trace(payload)
+            if _sniff_kind(path) == "trace":
+                with open(path) as handle:
+                    payload = json.load(handle)
+                validate_trace(payload)
+                print("%s: ok (trace)" % path)
+            else:
+                count = validate_events_file(path)
+                print("%s: ok (%d events)" % (path, count))
         except (OSError, ValueError) as exc:
             print("%s: INVALID (%s)" % (path, exc))
             status = 1
-        else:
-            print("%s: ok" % path)
     return status
 
 

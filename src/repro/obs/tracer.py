@@ -26,6 +26,7 @@ no-op default and opt in locally.
 from __future__ import annotations
 
 import json
+import sys
 import threading
 import time
 from typing import Dict, Iterator, List, Optional
@@ -39,8 +40,6 @@ try:
         ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; the value is
         normalised to KiB so traces are comparable across platforms.
         """
-        import sys
-
         peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
         if sys.platform == "darwin":  # pragma: no cover - platform specific
             peak //= 1024
@@ -70,7 +69,7 @@ class Span:
     """One phase of a traced run: wall time, counters, series, children."""
 
     __slots__ = ("name", "attrs", "start", "elapsed", "counters", "series",
-                 "children", "peak_rss_kb")
+                 "children", "peak_rss_kb", "emitter", "path")
 
     #: True on real spans; the null span overrides it.  Hot loops guard
     #: per-iteration bookkeeping with ``if span.live:``.
@@ -85,15 +84,26 @@ class Span:
         self.series: Dict[str, List[object]] = {}
         self.children: List["Span"] = []
         self.peak_rss_kb = 0
+        # Event-stream hooks (see repro.obs.events): None unless the owning
+        # tracer has a stream attached, in which case counter/gauge/append/
+        # progress mutations additionally flow out as structured events
+        # addressed by the span's slash-joined ``path``.
+        self.emitter = None
+        self.path = ""
 
     # Deterministic quantities only -- see the module docstring.
     def counter(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to an additive counter."""
-        self.counters[name] = self.counters.get(name, 0) + amount
+        value = self.counters.get(name, 0) + amount
+        self.counters[name] = value
+        if self.emitter is not None:
+            self.emitter.on_counter(self, name, value)
 
     def gauge(self, name: str, value: object) -> None:
         """Record a point-in-time value (overwrites)."""
         self.counters[name] = value
+        if self.emitter is not None:
+            self.emitter.on_counter(self, name, value)
 
     def maximum(self, name: str, value: object) -> None:
         """Record the maximum seen for ``name``."""
@@ -107,6 +117,24 @@ class Span:
         if series is None:
             series = self.series[name] = []
         series.append(value)
+        if self.emitter is not None:
+            self.emitter.on_sample(self, name, value)
+
+    def progress(self, done: object, total: Optional[object] = None) -> None:
+        """Report phase progress: ``done`` units of an optional ``total``.
+
+        Recorded as ``progress_done`` / ``progress_total`` gauges on the
+        span; with an event stream attached the call additionally emits a
+        ``progress`` event, which is what drives the live renderer's
+        completion estimates.  Per-iteration call sites must stay behind
+        ``span.live`` (or an equivalent throttle) like every other
+        per-iteration hook.
+        """
+        self.counters["progress_done"] = done
+        if total is not None:
+            self.counters["progress_total"] = total
+        if self.emitter is not None:
+            self.emitter.on_progress(self, done, total)
 
     def close(self) -> None:
         self.elapsed = time.perf_counter() - self.start
@@ -151,6 +179,8 @@ class _NullSpan:
     __slots__ = ()
     live = False
     name = ""
+    path = ""
+    emitter = None
     attrs: Dict[str, object] = {}
     elapsed = 0.0
     peak_rss_kb = 0
@@ -168,6 +198,9 @@ class _NullSpan:
         pass
 
     def append(self, name: str, value: object) -> None:
+        pass
+
+    def progress(self, done: object, total: Optional[object] = None) -> None:
         pass
 
     def __enter__(self) -> "_NullSpan":
@@ -196,9 +229,17 @@ class _SpanContext:
     def __enter__(self) -> Span:
         stack = self._tracer._stack()
         span = Span(self._name, self._attrs)
-        stack[-1].children.append(span)
+        parent = stack[-1]
+        parent.children.append(span)
         stack.append(span)
         self.span = span
+        emitter = self._tracer.emitter
+        if emitter is not None:
+            span.emitter = emitter
+            span.path = (
+                parent.path + "/" + span.name if parent.path else span.name
+            )
+            emitter.span_open(span)
         return span
 
     def __exit__(self, *exc: object) -> bool:
@@ -206,6 +247,8 @@ class _SpanContext:
         stack = self._tracer._stack()
         if stack[-1] is self.span:  # tolerate exotic unwinding
             stack.pop()
+        if self.span.emitter is not None:
+            self.span.emitter.span_close(self.span)
         return False
 
 
@@ -219,6 +262,12 @@ class Tracer:
     """
 
     enabled = True
+
+    #: Optional :class:`repro.obs.events.EventStream`; install one with
+    #: :func:`repro.obs.events.attach_stream`.  When set, every span
+    #: open/close, counter update and ``progress`` call additionally emits
+    #: a structured event.
+    emitter = None
 
     def __init__(self, name: str = "trace") -> None:
         self.root = Span(name)
@@ -256,6 +305,8 @@ class Tracer:
     def finish(self) -> Span:
         """Close the root span and return it."""
         self.root.close()
+        if self.emitter is not None:
+            self.emitter.span_close(self.root)
         return self.root
 
     def to_dict(self) -> Dict[str, object]:
@@ -283,6 +334,7 @@ class NullTracer:
     """The zero-cost default: every span is the shared no-op span."""
 
     enabled = False
+    emitter = None
     root = NULL_SPAN
     current = NULL_SPAN
 

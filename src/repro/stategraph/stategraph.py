@@ -508,6 +508,11 @@ def _build_packed(
                 queue.append(target)
                 if depths:
                     depths.append(depths[source] + 1)
+                    # Deterministic throttle: one progress event per 4096
+                    # discovered states (only while tracing -- `depths` is
+                    # empty on the disabled path).
+                    if len(depths) % 4096 == 0:
+                        span.progress(len(depths), max_states)
             elif check_consistency and packed_codes[target] != successor_code:
                 raise _inconsistent_codes(
                     pnet.codec.decode(successor_marking),
@@ -572,6 +577,8 @@ def _build_legacy(
                 queue.append(target)
                 if depths:
                     depths.append(depths[index] + 1)
+                    if len(depths) % 4096 == 0:
+                        span.progress(len(depths), max_states)
             graph._add_edge(index, transition, target)
     if span.live:
         _record_bfs_stats(span, graph, depths)

@@ -506,6 +506,11 @@ def _unfold(
                 "unfolding exceeded %d events; the STG may be unbounded" % max_events
             )
 
+        # Deterministic throttle: one progress event per 512 added events,
+        # guarded so the disabled path pays one attribute check per event.
+        if span.live and segment.num_events % 512 == 0:
+            span.progress(segment.num_events, max_events)
+
     # End-of-run gauges only: the unfolding loop itself stays untouched.
     if span.live:
         span.gauge("events", segment.num_events - 1)

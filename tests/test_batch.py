@@ -149,6 +149,107 @@ def test_hung_worker_merges_partial_row(monkeypatch):
     assert row["sg-explicit_outcome"] == "ok"
 
 
+def _hang_with_observability(args):
+    """Worker with the full watchdog rig: beat file + SIGUSR1 stack dump,
+    one partial-row write, then a hang past every budget."""
+    with batch_module._WorkerObservability(args):
+        writer = _partial_writer(args.get("partial_path"))
+        writer(
+            {
+                "benchmark": args["name"],
+                "sg-explicit_total": 1.23,
+                "sg-explicit_outcome": "ok",
+            }
+        )
+        time.sleep(60)
+
+
+def test_watchdog_diagnoses_hung_worker_with_stack(monkeypatch):
+    import repro.obs as obs
+
+    monkeypatch.setattr(batch_module, "PARENT_SLACK_SECONDS", 2.0)
+    events = []
+    stream = obs.EventStream([obs.CallbackSink(events.append)], min_interval=0.0)
+    tracer = obs.Tracer("batch")
+    obs.attach_stream(tracer, stream)
+    with obs.tracing(tracer=tracer):
+        rows = _run_batch(
+            _hang_with_observability,
+            [{"name": "wedged"}],
+            [{"benchmark": "wedged"}],
+            jobs=1,
+            task_timeout=0.05,
+            methods_per_row=1,
+            stall_after=0.6,
+        )
+    (row,) = rows
+    # The partial results still merge, and the timeout now carries an
+    # attributable diagnosis with the worker's captured stack.
+    assert row["outcome"] == "timeout"
+    assert row["sg-explicit_total"] == 1.23
+    assert row["diagnosis"] == "stalled"
+    blob = row["stall_metrics"]
+    assert blob["diagnosis"] == "stalled"
+    assert blob["silent_for"] > 0.5
+    assert isinstance(blob["pid"], int)
+    # faulthandler dumped the worker's live stack: the hung frame is in it.
+    assert "_hang_with_observability" in blob.get("stack", "")
+
+    kinds = [event["kind"] for event in events]
+    assert "heartbeat" in kinds
+    assert "stall" in kinds
+    assert "row" in kinds
+    beat = next(event for event in events if event["kind"] == "heartbeat")
+    assert beat["row"] == "wedged"
+    assert isinstance(beat["pid"], int)
+    stall = next(event for event in events if event["kind"] == "stall")
+    assert stall["row"] == "wedged"
+    assert stall["silent_for"] > 0.5
+    final = next(event for event in events if event["kind"] == "row")
+    assert final["outcome"] == "timeout"
+    assert final["diagnosis"] == "stalled"
+
+
+def test_watchdog_fresh_evidence_clears_stall(tmp_path):
+    from repro.flow.batch import _StallWatchdog
+
+    partial = tmp_path / "0.json"
+    beat = tmp_path / "0.beat"
+    task_args = [
+        {"partial_path": str(partial), "beat_path": str(beat),
+         "stack_path": None}
+    ]
+    # Worker alive (beat file present, pid deliberately non-int so no
+    # signal is ever sent to a real process) but silent: stall records.
+    beat.write_text(json.dumps({"pid": None, "time": time.time(), "beats": 1}))
+    watchdog = _StallWatchdog(task_args, ["row0"], stall_after=0.2)
+    watchdog.poll([0])
+    assert watchdog.stalls == {}
+    time.sleep(0.3)
+    watchdog.poll([0])
+    assert 0 in watchdog.stalls
+    assert watchdog.stalls[0]["diagnosis"] == "stalled"
+    # Fresh progress evidence (a partial-row write) clears the diagnosis:
+    # a straggler that recovers is not stalled.
+    partial.write_text(json.dumps({"benchmark": "row0"}))
+    watchdog.poll([0])
+    assert watchdog.stalls == {}
+    row = {"outcome": "timeout"}
+    watchdog.annotate_timeout(0, row)
+    assert "diagnosis" not in row
+
+
+def test_worker_observability_writes_beats(tmp_path):
+    beat_path = str(tmp_path / "w.beat")
+    with batch_module._WorkerObservability(
+        {"beat_path": beat_path, "stack_path": str(tmp_path / "w.stack")}
+    ):
+        time.sleep(0.05)
+        payload = json.loads(open(beat_path).read())
+    assert payload["pid"] == __import__("os").getpid()
+    assert payload["time"] > 0
+
+
 def test_batch_collect_metrics_rows_carry_blobs():
     rows = run_table1_batch(
         names=["nowick"], methods=METHODS, jobs=1, collect_metrics=True

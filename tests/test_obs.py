@@ -108,6 +108,47 @@ def test_tracing_context_restores_previous_tracer():
     assert outer_tracer.root.elapsed > 0.0
 
 
+def test_tracer_thread_local_stacks_under_contention():
+    # Worker threads attach spans under the shared root via thread-local
+    # stacks: under real contention no thread may ever see another
+    # thread's span as its current one, and every span must land as a
+    # direct child of the root with its own counters intact.
+    import threading
+
+    tracer = Tracer("root")
+    barrier = threading.Barrier(8)
+    errors = []
+
+    def worker(i):
+        try:
+            barrier.wait()
+            for j in range(100):
+                with tracer.span("t%d" % i, iteration=j) as span:
+                    assert tracer.current is span
+                    span.counter("ticks")
+                    with tracer.span("inner") as inner:
+                        assert tracer.current is inner
+                        inner.counter("ticks")
+                    assert tracer.current is span
+            assert tracer.current is tracer.root
+        except Exception as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    top = [child for child in tracer.root.children]
+    assert len(top) == 800
+    for span in top:
+        assert span.counters["ticks"] == 1
+        assert len(span.children) == 1
+    names = {span.name for span in top}
+    assert names == {"t%d" % i for i in range(8)}
+
+
 def test_null_tracer_is_inert_and_shared():
     assert current_tracer() is NULL_TRACER
     span = NULL_TRACER.span("anything", attr=1)
