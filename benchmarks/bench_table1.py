@@ -25,7 +25,12 @@ along: ``csc_check_states_per_sec`` (rate of the packed USC+CSC sweep on
 ``resolve_csc`` on the largest non-CSC generator, ``csc_arbiter(8)``) and
 ``csc_incremental_resolution`` (per-round incremental State Graph
 maintenance vs full rebuild across that resolution, with the dirty states
-re-explored per round).
+re-explored per round).  The cover engine contributes two more:
+``espresso_cubes_per_sec`` (throughput of the auto-resolved espresso
+kernel over the real Table 1 cover workload, with the python reference
+timed alongside for the speedup and a literal-count parity check) and
+``csc_ranking_seconds`` (candidate ranking of one ``csc_arbiter(8)``
+resolution round, cold vs served from the memoised literal-cost cache).
 Two symbolic-engine entries track the ``repro.spaces`` BDD backend:
 ``symbolic_reachability_states_per_sec`` (characteristic-function fixed
 point + symbolic USC/CSC on ``muller_pipeline(16)``, 262144 states --
@@ -313,6 +318,97 @@ def _time_explicit_kernel(stages=16):
     }
 
 
+def _time_espresso_cover_engine(max_signals=14):
+    """Auto-resolved cover kernel vs the python reference over the Table 1
+    espresso workload: every implementable, conflict-free signal of every
+    suite benchmark contributes its real ``(on_cover, dc)`` job, so the
+    throughput tracks exactly what the synthesis flows feed the minimiser."""
+    from repro.boolean import espresso
+    from repro.kernel import resolve_kernel
+    from repro.spaces import build_state_space
+
+    jobs = []
+    input_cubes = 0
+    for entry in table1_suite():
+        if entry.expected_signals > max_signals:
+            continue
+        stg = entry.build()
+        space = build_state_space(stg)
+        conflicting = space.conflicting_signals()
+        dc = space.dc_cover()
+        for signal in stg.implementable_signals:
+            if signal in conflicting:
+                continue
+            on = space.on_cover(signal)
+            jobs.append((on, dc))
+            input_cubes += len(on) + len(dc)
+
+    def run(kernel):
+        t0 = time.perf_counter()
+        literals = sum(
+            espresso(on, dc, kernel=kernel).cover.literal_count for on, dc in jobs
+        )
+        return time.perf_counter() - t0, literals
+
+    engine = resolve_kernel(None)
+    engine_seconds, engine_literals = run(engine)
+    python_seconds, python_literals = run("python")
+    return {
+        "engine": engine,
+        "jobs": len(jobs),
+        "input_cubes": input_cubes,
+        "seconds": round(engine_seconds, 4),
+        "cubes_per_sec": (
+            round(input_cubes / engine_seconds) if engine_seconds > 0 else None
+        ),
+        "python_reference_seconds": round(python_seconds, 4),
+        "speedup_vs_python": (
+            round(python_seconds / engine_seconds, 2) if engine_seconds > 0 else None
+        ),
+        "literals": engine_literals,
+        "literals_match_python": engine_literals == python_literals,
+    }
+
+
+def _time_csc_ranking(clients=8):
+    """Candidate-ranking cost of one CSC resolution round, cold vs cached.
+
+    Times :func:`repro.encoding.choose_insertion` on the ``csc_arbiter``
+    generator twice against a cleared literal-cost cache: the first pass
+    pays every espresso cost evaluation, the second is served from the
+    memoised ranking cache (``ranking_cache_hits`` counts the serves)."""
+    import random
+
+    from repro.encoding import candidate_regions, choose_insertion, conflict_cores
+    from repro.encoding import insertion as insertion_mod
+    from repro.obs import tracing
+
+    stg = csc_arbiter(clients)
+    graph = build_state_graph(stg)
+    cores = conflict_cores(graph)
+    regions = candidate_regions(graph)
+    insertion_mod._COST_CACHE.clear()
+    with tracing("csc_ranking") as obs:
+        t0 = time.perf_counter()
+        choose_insertion(graph, cores, regions, random.Random(0))
+        cold = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        choose_insertion(graph, cores, regions, random.Random(0))
+        warm = time.perf_counter() - t1
+        root = obs.finish()
+    hits = sum(
+        span.counters.get("ranking_cache_hits", 0) for span in root.walk()
+    )
+    return {
+        "benchmark": stg.name,
+        "candidate_regions": len(regions),
+        "seconds": round(cold, 4),
+        "cached_seconds": round(warm, 4),
+        "cache_hits": hits,
+        "speedup_cached": round(cold / warm, 2) if warm > 0 else None,
+    }
+
+
 def _time_csc_resolution(clients=8, max_signals=6):
     """End-to-end CSC resolution of the largest non-CSC generator workload."""
     stg = csc_arbiter(clients)
@@ -452,6 +548,8 @@ def collect_json(max_signals=14, baseline_seconds=None, unfolding_baseline_secon
             ),
         },
         "csc_check_states_per_sec": _time_csc_check(),
+        "espresso_cubes_per_sec": _time_espresso_cover_engine(),
+        "csc_ranking_seconds": _time_csc_ranking(),
         "csc_resolution_largest": _time_csc_resolution(),
         "csc_incremental_resolution": _time_csc_incremental_resolution(),
         "symbolic_reachability_states_per_sec": _time_symbolic_reachability(),
@@ -564,6 +662,30 @@ def main(argv=None):
     print(
         "muller_pipeline(12) USC+CSC check: %.3fs (%s states/s)"
         % (csc["seconds"], csc["states_per_sec"])
+    )
+    cover = report["espresso_cubes_per_sec"]
+    print(
+        "table1 espresso workload (%d jobs, %d cubes): %s %.3fs "
+        "(%s cubes/s, x%s vs python %.3fs)"
+        % (
+            cover["jobs"],
+            cover["input_cubes"],
+            cover["engine"],
+            cover["seconds"],
+            cover["cubes_per_sec"],
+            cover["speedup_vs_python"],
+            cover["python_reference_seconds"],
+        )
+    )
+    ranking = report["csc_ranking_seconds"]
+    print(
+        "%s candidate ranking: cold %.3fs / cached %.3fs (%d cache hits)"
+        % (
+            ranking["benchmark"],
+            ranking["seconds"],
+            ranking["cached_seconds"],
+            ranking["cache_hits"],
+        )
     )
     incremental = report["csc_incremental_resolution"]
     print(

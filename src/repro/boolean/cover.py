@@ -28,6 +28,31 @@ from .cube import Cube, CubeError
 
 __all__ = ["Cover", "minterm_cover"]
 
+#: Covers smaller than this stay on the pure-python reference under
+#: ``kernel=None``/``"auto"`` -- per-call numpy dispatch overhead beats the
+#: win on tiny covers.  An explicit ``kernel="numpy"`` always takes the
+#: matrix path (and still fails loudly when numpy is missing).
+_MATRIX_MIN_CUBES = 32
+
+
+def _matrix_kernel(kernel, size: int):
+    """The cube-matrix kernel module when the matrix path should run.
+
+    Returns :mod:`repro.kernel.cubes` when the resolved kernel is numpy
+    (subject to the small-cover gate under auto), else ``None`` for the
+    pure-python reference.  Both paths are bit-identical, so the gate is a
+    pure performance decision.
+    """
+    if (kernel is None or kernel == "auto") and size < _MATRIX_MIN_CUBES:
+        return None
+    from ..kernel import resolve_kernel
+
+    if resolve_kernel(kernel) != "numpy":
+        return None
+    from ..kernel import cubes
+
+    return cubes
+
 
 def minterm_cover(nvars: int, code_words: Iterable[int]) -> "Cover":
     """Exact cover of a set of packed codes (one ``(ones, zeros)`` cube each).
@@ -268,30 +293,72 @@ class Cover:
             result = result.sharp(cube)
         return result
 
-    def complement(self) -> "Cover":
+    def complement(self, kernel: Optional[str] = None) -> "Cover":
         """Return a cover of the complement function.
 
         Uses recursive Shannon expansion on the most-bound variable, which is
         efficient enough for the signal counts of asynchronous controller
-        benchmarks (tens of variables).
+        benchmarks (tens of variables).  With the numpy kernel the same
+        recursion runs over uint64 cube matrices, bit-identically.
         """
+        matrix = _matrix_kernel(kernel, len(self._cubes))
+        if matrix is not None:
+            return matrix.complement_cover(self)
         return Cover(self.nvars, _complement_rec(self, Cube.full(self.nvars)))
 
     # ------------------------------------------------------------------ #
     # Tautology / containment
     # ------------------------------------------------------------------ #
-    def is_tautology(self) -> bool:
+    def is_tautology(self, kernel: Optional[str] = None) -> bool:
         """Return True if the cover evaluates to 1 for every assignment."""
+        matrix = _matrix_kernel(kernel, len(self._cubes))
+        if matrix is not None:
+            ones, zeros = matrix.pack_cover(self)
+            return matrix.is_tautology_rows(self.nvars, ones, zeros)
         return _tautology_rec(self)
 
-    def contains_cube(self, cube: Cube) -> bool:
+    def contains_cube(self, cube: Cube, kernel: Optional[str] = None) -> bool:
         """Return True if the cover covers every minterm of the cube."""
-        return self.cofactor(cube).is_tautology()
+        matrix = _matrix_kernel(kernel, len(self._cubes))
+        if matrix is not None:
+            ones, zeros = matrix.pack_cover(self)
+            words = matrix.words_for(self.nvars)
+            return matrix.contains_cube_rows(
+                self.nvars,
+                ones,
+                zeros,
+                matrix.pack_row(cube.ones, words),
+                matrix.pack_row(cube.zeros, words),
+            )
+        return self.cofactor(cube).is_tautology(kernel=kernel)
 
-    def contains_cover(self, other: "Cover") -> bool:
+    def contains_cover(self, other: "Cover", kernel: Optional[str] = None) -> bool:
         """Return True if every cube of ``other`` is contained in this cover."""
         self._check_compatible(other)
-        return all(self.contains_cube(cube) for cube in other)
+        matrix = _matrix_kernel(kernel, len(self._cubes))
+        if matrix is not None:
+            ones, zeros = matrix.pack_cover(self)
+            other_ones, other_zeros = matrix.pack_cover(other)
+            # Fully-specified cubes (minterm covers, the synthesis common
+            # case) take one batched point sweep; only genuinely wider
+            # cubes need the cofactor/tautology recursion.
+            counts = matrix.literal_counts(other_ones, other_zeros)
+            points = counts == self.nvars
+            if points.any():
+                if not bool(
+                    matrix.covered_points(
+                        ones, zeros, other_ones[points], other_zeros[points]
+                    ).all()
+                ):
+                    return False
+            wide = matrix.np.flatnonzero(~points)
+            return all(
+                matrix.contains_cube_rows(
+                    self.nvars, ones, zeros, other_ones[row], other_zeros[row]
+                )
+                for row in wide
+            )
+        return all(self.contains_cube(cube, kernel=kernel) for cube in other)
 
     def equivalent(self, other: "Cover") -> bool:
         """Return True if both covers denote the same Boolean function."""
@@ -300,8 +367,11 @@ class Cover:
     # ------------------------------------------------------------------ #
     # Normalisation
     # ------------------------------------------------------------------ #
-    def single_cube_containment(self) -> "Cover":
+    def single_cube_containment(self, kernel: Optional[str] = None) -> "Cover":
         """Drop cubes contained in a single other cube of the cover."""
+        matrix = _matrix_kernel(kernel, len(self._cubes))
+        if matrix is not None:
+            return matrix.single_cube_containment_cover(self)
         kept: List[Cube] = []
         cubes = sorted(self._cubes, key=lambda c: c.num_literals)
         for cube in cubes:
@@ -317,15 +387,17 @@ class Cover:
             kept.append(cube)
         return Cover(self.nvars, kept)
 
-    def irredundant(self, dc: Optional["Cover"] = None) -> "Cover":
+    def irredundant(
+        self, dc: Optional["Cover"] = None, kernel: Optional[str] = None
+    ) -> "Cover":
         """Remove cubes covered by the rest of the cover plus the DC-set."""
-        cubes = list(self.single_cube_containment())
+        cubes = list(self.single_cube_containment(kernel=kernel))
         index = 0
         while index < len(cubes):
             rest = Cover(self.nvars, cubes[:index] + cubes[index + 1:])
             if dc is not None:
                 rest = rest.union(dc)
-            if rest.contains_cube(cubes[index]):
+            if rest.contains_cube(cubes[index], kernel=kernel):
                 cubes.pop(index)
             else:
                 index += 1

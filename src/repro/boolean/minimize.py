@@ -18,10 +18,14 @@ import itertools
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..obs import current_tracer
-from .cover import Cover
+from .cover import Cover, _matrix_kernel
 from .cube import Cube
 
 __all__ = ["espresso", "quine_mccluskey", "MinimizationResult"]
+
+#: Matrix-backed phase passes executed since import; espresso() snapshots
+#: this around its loop to feed the ``espresso_matrix_passes`` obs counter.
+_matrix_passes = 0
 
 
 class MinimizationResult:
@@ -59,6 +63,7 @@ def espresso(
     dc: Optional[Cover] = None,
     max_iterations: int = 4,
     off: Optional[Cover] = None,
+    kernel: Optional[str] = None,
 ) -> MinimizationResult:
     """Minimise ``on`` against the don't-care set ``dc``.
 
@@ -70,6 +75,12 @@ def espresso(
     flows use this because they already hold an off-set cover and the
     complement can be expensive for wide specifications.  Everything outside
     ``on + off`` is then treated as a don't care.
+
+    ``kernel`` selects the cover engine backend (``"auto"`` / ``"numpy"`` /
+    ``"python"``, see :func:`repro.kernel.resolve_kernel`): under numpy the
+    expand/irredundant/reduce passes run over uint64 cube matrices.  Both
+    backends produce the identical :class:`MinimizationResult` -- same
+    cubes, same order, same iteration count.
     """
     nvars = on.nvars
     if dc is None:
@@ -79,29 +90,36 @@ def espresso(
 
     care_on = on
     initial_literals = on.literal_count
+    passes_before = _matrix_passes
     if off is None:
-        off = on.union(dc).complement().single_cube_containment()
+        off = on.union(dc).complement(kernel=kernel).single_cube_containment(
+            kernel=kernel
+        )
     else:
-        off = off.single_cube_containment()
+        off = off.single_cube_containment(kernel=kernel)
 
-    current = on.single_cube_containment()
+    current = on.single_cube_containment(kernel=kernel)
     iterations = 0
     previous_cost = _cost(current)
+    # Expansion depends only on (cube, off) and off is fixed for the whole
+    # run, so grown cubes are memoised across phases: the post-irredundant
+    # expand of each iteration mostly re-expands already-maximal cubes.
+    expand_cache: Dict[Tuple[int, int], Cube] = {}
     for _ in range(max_iterations):
         iterations += 1
-        current = _expand(current, off)
-        current = _irredundant_care(current, care_on, dc)
-        current = _reduce(current, dc)
-        current = _expand(current, off)
-        current = _irredundant_care(current, care_on, dc)
+        current = _expand(current, off, kernel, expand_cache)
+        current = _irredundant_care(current, care_on, dc, kernel)
+        current = _reduce(current, dc, kernel)
+        current = _expand(current, off, kernel, expand_cache)
+        current = _irredundant_care(current, care_on, dc, kernel)
         cost = _cost(current)
         if cost >= previous_cost:
             break
         previous_cost = cost
 
     # Safety: the minimised cover must still cover the original on-set.
-    if not current.union(dc).contains_cover(care_on):  # pragma: no cover - guard
-        current = care_on.single_cube_containment()
+    if not current.union(dc).contains_cover(care_on, kernel=kernel):  # pragma: no cover - guard
+        current = care_on.single_cube_containment(kernel=kernel)
     obs = current_tracer()
     if obs.enabled:
         span = obs.current
@@ -109,6 +127,8 @@ def espresso(
         span.counter("espresso_iterations", iterations)
         span.counter("espresso_input_cubes", len(on))
         span.counter("espresso_output_cubes", len(current))
+        if _matrix_passes > passes_before:
+            span.counter("espresso_matrix_passes", _matrix_passes - passes_before)
     return MinimizationResult(current, iterations, initial_literals)
 
 
@@ -116,7 +136,9 @@ def _cost(cover: Cover) -> Tuple[int, int]:
     return (len(cover), cover.literal_count)
 
 
-def _irredundant_care(cover: Cover, care_on: Cover, dc: Cover) -> Cover:
+def _irredundant_care(
+    cover: Cover, care_on: Cover, dc: Cover, kernel: Optional[str] = None
+) -> Cover:
     """Drop cubes whose *care* minterms are covered by the rest of the cover.
 
     A cube is redundant when every minterm it covers that belongs to the
@@ -124,7 +146,10 @@ def _irredundant_care(cover: Cover, care_on: Cover, dc: Cover) -> Cover:
     Working with the care set directly avoids complementing the cover, which
     matters for wide specifications.
     """
-    cubes = list(cover.single_cube_containment())
+    matrix = _matrix_kernel(kernel, len(cover) + len(dc))
+    if matrix is not None:
+        return _irredundant_care_matrix(cover, care_on, dc, kernel, matrix)
+    cubes = list(cover.single_cube_containment(kernel=kernel))
     index = 0
     while index < len(cubes):
         candidate = cubes[index]
@@ -132,19 +157,160 @@ def _irredundant_care(cover: Cover, care_on: Cover, dc: Cover) -> Cover:
         if not dc.is_empty():
             rest = rest.union(dc)
         care_part = care_on.intersect_cube(candidate)
-        if rest.contains_cover(care_part):
+        if rest.contains_cover(care_part, kernel=kernel):
             cubes.pop(index)
         else:
             index += 1
     return Cover(cover.nvars, cubes)
 
 
-def _expand(cover: Cover, off: Cover) -> Cover:
-    """Expand every cube maximally without hitting the off-set."""
-    off_masks = [(c.ones, c.zeros) for c in off]
+def _irredundant_care_matrix(
+    cover: Cover, care_on: Cover, dc: Cover, kernel: Optional[str], matrix
+) -> Cover:
+    """Matrix twin of :func:`_irredundant_care` (bit-identical).
+
+    The drop decision is a semantic containment check, so only the
+    sequential candidate order needs replicating; the per-candidate
+    cofactor/tautology recursions run over packed rows.
+    """
+    global _matrix_passes
+    _matrix_passes += 1
+    np = matrix.np
+    nvars = cover.nvars
+    words = matrix.words_for(nvars)
+    cubes = list(cover.single_cube_containment(kernel=kernel))
+    all_ones, all_zeros = matrix.pack_pairs(
+        [(c.ones, c.zeros) for c in cubes], words
+    )
+    dc_ones, dc_zeros = matrix.pack_cover(dc)
+    care_ones, care_zeros = matrix.pack_cover(care_on)
+    care_counts = matrix.literal_counts(care_ones, care_zeros)
+    if len(care_counts) == 0 or bool((care_counts == nvars).all()):
+        # Minterm care set (the synthesis common case): the sequential
+        # drop loop collapses to coverage counting.  "The rest plus the
+        # DC-set covers every care point of the candidate" is, for
+        # points, "each such point is covered by some other live row" --
+        # so track how many live rows cover each point and decrement as
+        # cubes drop.  Bit-identical to the reference's sequential scan.
+        cov = matrix.cover_point_matrix(all_ones, all_zeros, care_ones, care_zeros)
+        counts = cov.sum(axis=0)
+        if len(dc):
+            # DC coverage never decrements, so a bool contribution of 1
+            # is enough to keep covered points above the drop threshold.
+            counts = counts + matrix.covered_points(
+                dc_ones, dc_zeros, care_ones, care_zeros
+            ).astype(counts.dtype)
+        kept: List[Cube] = []
+        for index, cube in enumerate(cubes):
+            mine = cov[index]
+            if bool((counts[mine] >= 2).all()):
+                counts[mine] -= 1
+            else:
+                kept.append(cube)
+        return Cover(nvars, kept)
+    alive = list(range(len(cubes)))
+    index = 0
+    while index < len(alive):
+        candidate = cubes[alive[index]]
+        rest_index = np.array(
+            alive[:index] + alive[index + 1:], dtype=np.intp
+        )
+        rest_ones = np.concatenate([all_ones[rest_index], dc_ones])
+        rest_zeros = np.concatenate([all_zeros[rest_index], dc_zeros])
+        part_ones, part_zeros = matrix.intersect_cube_rows(
+            care_ones,
+            care_zeros,
+            matrix.pack_row(candidate.ones, words),
+            matrix.pack_row(candidate.zeros, words),
+        )
+        # No dedup: the drop decision is semantic, and duplicate care rows
+        # cannot change a containment verdict.
+        # Fully-specified care cubes (the common case: synthesis on-sets
+        # are minterm covers) get a single batched point-containment
+        # sweep; only genuinely wider cubes need the tautology recursion.
+        part_counts = matrix.literal_counts(part_ones, part_zeros)
+        points = part_counts == nvars
+        contained = True
+        if points.any():
+            contained = bool(
+                matrix.covered_points(
+                    rest_ones, rest_zeros, part_ones[points], part_zeros[points]
+                ).all()
+            )
+        if contained:
+            wide = np.flatnonzero(~points)
+            contained = all(
+                matrix.contains_cube_rows(
+                    nvars, rest_ones, rest_zeros, part_ones[row], part_zeros[row]
+                )
+                for row in wide
+            )
+        if contained:
+            alive.pop(index)
+        else:
+            index += 1
+    return Cover(nvars, [cubes[i] for i in alive])
+
+
+#: Off-set size at which the batched matrix expand takes over from the
+#: scalar scan.  Measured on the table1 covers (off-sets of 9-400 cubes)
+#: and on synthetic minterm off-sets up to 5000 rows, the scalar scan's
+#: early exit wins every time -- most literal drops are blocked by the
+#: first off-cube tested, while the matrix pass always recomputes the
+#: full conflict tensor.  ``None`` therefore disables the matrix expand;
+#: the threshold is algorithmic (both paths produce identical cubes) and
+#: the equivalence suite forces the matrix path by setting it to 0.
+_EXPAND_MIN_OFF: Optional[int] = None
+
+
+def _expand(
+    cover: Cover,
+    off: Cover,
+    kernel: Optional[str] = None,
+    cache: Optional[Dict[Tuple[int, int], Cube]] = None,
+) -> Cover:
+    """Expand every cube maximally without hitting the off-set.
+
+    ``cache`` memoises expansions against this (fixed) off-set.  Expansion
+    is idempotent -- a literal whose drop was blocked stays blocked as the
+    cube only ever grows -- so every grown cube is also recorded as its
+    own expansion, which makes re-expanding an already-maximal cover free.
+    """
+    matrix = _matrix_kernel(kernel, len(off))
+    if matrix is not None and (
+        _EXPAND_MIN_OFF is None or len(off) < _EXPAND_MIN_OFF
+    ):
+        matrix = None
+    if cache is None:
+        cache = {}
+    ordered = sorted(cover, key=lambda c: -c.num_literals)
+    todo = [
+        cube for cube in ordered if (cube.ones, cube.zeros) not in cache
+    ]
+    if todo:
+        if matrix is not None:
+            global _matrix_passes
+            _matrix_passes += 1
+            off_ones, off_zeros = matrix.pack_cover(off)
+            grown_masks = matrix.expand_cover(
+                cover.nvars,
+                [(c.ones, c.zeros) for c in todo],
+                off_ones,
+                off_zeros,
+            )
+            grown_todo = [
+                Cube(cover.nvars, ones, zeros) for ones, zeros in grown_masks
+            ]
+        else:
+            off_masks = [(c.ones, c.zeros) for c in off]
+            grown_todo = [_expand_cube(cube, off_masks) for cube in todo]
+        for cube, grown in zip(todo, grown_todo):
+            cache[(cube.ones, cube.zeros)] = grown
+            cache[(grown.ones, grown.zeros)] = grown
+    grown_cubes = [cache[(cube.ones, cube.zeros)] for cube in ordered]
+
     expanded: List[Cube] = []
-    for cube in sorted(cover, key=lambda c: -c.num_literals):
-        grown = _expand_cube(cube, off_masks)
+    for grown in grown_cubes:
         grown_ones = grown.ones
         grown_zeros = grown.zeros
         # A cube contains another iff its literals are a subset of the
@@ -171,27 +337,29 @@ def _expand_cube(cube: Cube, off_masks: Sequence[Tuple[int, int]]) -> Cube:
     """
     ones = cube.ones
     zeros = cube.zeros
-    changed = True
-    while changed:
-        changed = False
-        mask = ones | zeros
-        while mask:
-            low = mask & -mask
-            mask ^= low
-            cand_ones = ones & ~low
-            cand_zeros = zeros & ~low
-            for off_ones, off_zeros in off_masks:
-                if not ((cand_ones | off_ones) & (cand_zeros | off_zeros)):
-                    break  # hits the off-set: keep the literal
-            else:
-                ones = cand_ones
-                zeros = cand_zeros
-                changed = True
+    # One ascending scan suffices: a blocked drop stays blocked, because
+    # later drops only grow the cube and intersection with the off-set is
+    # monotone under growth.
+    mask = ones | zeros
+    while mask:
+        low = mask & -mask
+        mask ^= low
+        cand_ones = ones & ~low
+        cand_zeros = zeros & ~low
+        for off_ones, off_zeros in off_masks:
+            if not ((cand_ones | off_ones) & (cand_zeros | off_zeros)):
+                break  # hits the off-set: keep the literal
+        else:
+            ones = cand_ones
+            zeros = cand_zeros
     return Cube(cube.nvars, ones, zeros)
 
 
-def _reduce(cover: Cover, dc: Cover) -> Cover:
+def _reduce(cover: Cover, dc: Cover, kernel: Optional[str] = None) -> Cover:
     """Shrink each cube to the smallest cube covering its essential part."""
+    matrix = _matrix_kernel(kernel, len(cover) + len(dc))
+    if matrix is not None:
+        return _reduce_matrix(cover, dc, matrix)
     cubes = list(cover)
     reduced: List[Cube] = []
     for index, cube in enumerate(cubes):
@@ -209,6 +377,51 @@ def _reduce(cover: Cover, dc: Cover) -> Cover:
             smallest = smallest.supercube(piece)
         reduced.append(smallest)
     return Cover(cover.nvars, reduced)
+
+
+def _reduce_matrix(cover: Cover, dc: Cover, matrix) -> Cover:
+    """Matrix twin of :func:`_reduce` (bit-identical).
+
+    The reduced cube is the bounding box of ``cube minus rest``; the
+    reference's supercube fold over an explicit difference cover computes
+    exactly that box, so :func:`repro.kernel.cubes.bounding_difference`
+    reproduces it without materialising the difference.
+    """
+    global _matrix_passes
+    _matrix_passes += 1
+    np = matrix.np
+    nvars = cover.nvars
+    words = matrix.words_for(nvars)
+    cubes = list(cover)
+    count = len(cubes)
+    all_ones, all_zeros = matrix.pack_pairs(
+        [(c.ones, c.zeros) for c in cubes], words
+    )
+    dc_ones, dc_zeros = matrix.pack_cover(dc)
+    # Earlier cubes participate in their already-reduced form (standard
+    # Espresso REDUCE ordering); rows are rewritten in place as we go.
+    done_ones = np.zeros((count, words), dtype=np.uint64)
+    done_zeros = np.zeros((count, words), dtype=np.uint64)
+    reduced: List[Cube] = []
+    for index, cube in enumerate(cubes):
+        rest_ones = np.concatenate(
+            [done_ones[:index], all_ones[index + 1:], dc_ones]
+        )
+        rest_zeros = np.concatenate(
+            [done_zeros[:index], all_zeros[index + 1:], dc_zeros]
+        )
+        box = matrix.bounding_difference(
+            nvars, cube.ones, cube.zeros, rest_ones, rest_zeros
+        )
+        if box is None:
+            # Entirely covered elsewhere; keep as-is, irredundant pass drops it.
+            smallest = cube
+        else:
+            smallest = Cube(nvars, box[0], box[1])
+        reduced.append(smallest)
+        done_ones[index] = matrix.pack_row(smallest.ones, words)
+        done_zeros[index] = matrix.pack_row(smallest.zeros, words)
+    return Cover(nvars, reduced)
 
 
 # ---------------------------------------------------------------------- #

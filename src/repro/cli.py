@@ -57,13 +57,14 @@ __all__ = ["main", "build_parser"]
 
 
 def _add_kernel_flag(command: argparse.ArgumentParser) -> None:
-    """Attach the explicit-engine kernel selector (see :mod:`repro.kernel`)."""
+    """Attach the vectorised-kernel selector (see :mod:`repro.kernel`)."""
     command.add_argument(
         "--kernel",
         choices=KERNELS,
         default=None,
-        help="explicit-engine BFS/coding-sweep backend: auto picks numpy "
-        "when installed, python forces the reference loops",
+        help="vectorised backend for BFS/coding sweeps and the espresso "
+        "cover engine: auto picks numpy when installed, python forces "
+        "the reference loops",
     )
 
 

@@ -23,10 +23,13 @@ shuffle equal-cost ties.
 
 from __future__ import annotations
 
+import hashlib
 import random
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
-from ..boolean import Cover, espresso
+from ..boolean import Cover, Cube, espresso
+from ..obs import current_tracer
 from ..spaces.base import InsertionEdit
 from ..stategraph import StateGraph, dc_set_cover, states_to_cover
 from ..stg import STG
@@ -52,8 +55,49 @@ def fresh_signal_name(stg: STG, prefix: str = "csc") -> str:
     return "%s%d" % (prefix, index)
 
 
+#: Bounded FIFO memo for :func:`estimate_cost` espresso results, keyed on
+#: ``(nvars, on-set digest, dc digest)``.  The estimate is a pure function
+#: of those inputs (the off-set is their complement within the code space),
+#: so hits are safe across candidates, rounds and even specifications; the
+#: bound keeps long batch runs from accumulating stale graphs.
+_COST_CACHE: "OrderedDict[Tuple[int, bytes, bytes], int]" = OrderedDict()
+_COST_CACHE_MAX = 4096
+
+
+def _cover_digest(cover: Cover) -> bytes:
+    """Order-sensitive digest of a cover's cube masks."""
+    nbytes = (2 * cover.nvars + 7) // 8 or 1
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(cover.nvars.to_bytes(4, "little"))
+    for cube in cover:
+        digest.update(cube.ones.to_bytes(nbytes, "little"))
+        digest.update(cube.zeros.to_bytes(nbytes, "little"))
+    return digest.digest()
+
+
+def _cached_literal_cost(
+    on: Cover, dc: Cover, off: Cover, dc_digest: bytes, kernel: Optional[str]
+) -> int:
+    key = (on.nvars, _cover_digest(on), dc_digest)
+    cached = _COST_CACHE.get(key)
+    obs = current_tracer()
+    if cached is not None:
+        _COST_CACHE.move_to_end(key)
+        if obs.enabled:
+            obs.current.counter("ranking_cache_hits")
+        return cached
+    cost = espresso(on, dc, off=off, kernel=kernel).cover.literal_count
+    _COST_CACHE[key] = cost
+    if len(_COST_CACHE) > _COST_CACHE_MAX:
+        _COST_CACHE.popitem(last=False)
+    return cost
+
+
 def estimate_cost(
-    graph: StateGraph, region: InsertionRegion, dc: Optional[Cover] = None
+    graph: StateGraph,
+    region: InsertionRegion,
+    dc: Optional[Cover] = None,
+    kernel: Optional[str] = None,
 ) -> int:
     """Estimated literal cost of implementing the new signal.
 
@@ -64,16 +108,37 @@ def estimate_cost(
     ranking many candidates of the same graph).  The new signal itself is
     not in the code space yet, so this is a lower bound -- good enough to
     rank otherwise-equal candidates.
+
+    Each minimisation passes an explicit espresso off-set built from the
+    state codes: blocking set for the on-phase is the reachable codes *not*
+    reached by any on-state (CSC-conflict codes shared across the split are
+    excluded -- they sit inside the on cover).  As a point set that equals
+    the ``complement(on + dc)`` the default path would compute per
+    candidate, and espresso uses the off-set only semantically, so the
+    covers are identical while the complement call disappears.  Results are
+    memoised in a bounded cache keyed on the on-set/DC digests.
     """
     mask = region.mask_on
     on_states = [s for s in range(graph.num_states) if (mask >> s) & 1]
     off_states = [s for s in range(graph.num_states) if not (mask >> s) & 1]
     if dc is None:
         dc = dc_set_cover(graph)
-    cost = 0
-    for states in (on_states, off_states):
-        cover = states_to_cover(graph, states)
-        cost += espresso(cover, dc).cover.literal_count
+    dc_digest = _cover_digest(dc)
+    packed = graph.packed_codes
+    on_codes = {packed[state] for state in on_states}
+    off_codes = {packed[state] for state in off_states}
+    on_cover = states_to_cover(graph, on_states)
+    off_cover = states_to_cover(graph, off_states)
+    nvars = on_cover.nvars
+    full = (1 << nvars) - 1
+
+    def minterms(codes: List[int]) -> Cover:
+        return Cover(nvars, [Cube(nvars, code, full & ~code) for code in codes])
+
+    block_on = minterms(sorted(off_codes - on_codes))
+    block_off = minterms(sorted(on_codes - off_codes))
+    cost = _cached_literal_cost(on_cover, dc, block_on, dc_digest, kernel)
+    cost += _cached_literal_cost(off_cover, dc, block_off, dc_digest, kernel)
     return cost
 
 
@@ -82,6 +147,7 @@ def choose_insertion(
     cores: List[ConflictCore],
     regions: List[InsertionRegion],
     rng: Optional[random.Random] = None,
+    kernel: Optional[str] = None,
 ) -> List[Tuple[int, InsertionRegion]]:
     """Rank candidate regions for one insertion round.
 
@@ -107,8 +173,11 @@ def choose_insertion(
     head = [item for item in scored if item[0] == best_gain]
     tail = [item for item in scored if item[0] != best_gain]
     if len(head) > 1:
+        # One DC-set (and digest, inside estimate_cost) shared by every
+        # candidate of the round; the per-candidate espresso runs hit the
+        # ranking cache for any on-set already costed.
         dc = dc_set_cover(graph)
-        head.sort(key=lambda item: estimate_cost(graph, item[1], dc))
+        head.sort(key=lambda item: estimate_cost(graph, item[1], dc, kernel))
     return head + tail
 
 

@@ -217,7 +217,7 @@ def _resolve_csc(
     while cores and len(inserted) < max_signals:
         span.counter("rounds")
         regions = candidate_regions(graph)
-        ranked = choose_insertion(graph, cores, regions, rng)
+        ranked = choose_insertion(graph, cores, regions, rng, kernel=kernel)
         current_pairs = num_conflict_pairs(cores)
         signal = fresh_signal_name(stg)
         # Measure the top-ranked regions on their resulting graph and keep

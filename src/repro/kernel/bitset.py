@@ -8,9 +8,10 @@ joins in :func:`~repro.stategraph.csc.check_usc` / ``check_csc``.  This
 module re-expresses all three over ``uint64`` matrices:
 
 * markings live in a ``(states, words)`` matrix (``words =
-  ceil(places/64)``), codes and excitation masks in ``(states,)`` vectors
-  (so the numpy path requires ``len(signals) <= 64`` -- wider codes fall
-  back to the reference implementation);
+  ceil(places/64)``), codes and excitation masks in ``(states,
+  code_words)`` matrices (``code_words = ceil(signals/64)``), so
+  arbitrarily wide specifications stay on the numpy path -- the historical
+  64-signal limit is gone;
 * one BFS *wave* (all states at one depth -- a contiguous index range, since
   discovery order is FIFO) is expanded in whole-frontier array ops:
   ``enabled = ((m & preset) == preset).all(axis=-1)``, ``succ = (m &
@@ -41,12 +42,11 @@ __all__ = [
     "coding_conflict_pairs",
     "signature_groups_kernel",
     "supports_graph",
+    "code_words",
+    "packed_mask",
 ]
 
 _MASK64 = (1 << 64) - 1
-
-#: Widest packed code the uint64 kernels can hold.
-MAX_KERNEL_SIGNALS = 64
 
 
 def _require_numpy():
@@ -75,9 +75,32 @@ def _int_keys(rows) -> List[int]:
     return keys
 
 
+def code_words(nsignals: int) -> int:
+    """Words per packed code row: ``max(1, ceil(nsignals / 64))``."""
+    return max(1, (nsignals + 63) // 64)
+
+
+def packed_mask(mask: int, nwords: int):
+    """A Python-int bitmask as a broadcastable ``(nwords,)`` uint64 row."""
+    np = _require_numpy()
+    return np.array(_words_of(mask, nwords), dtype=np.uint64)
+
+
+def _pack_ints(np, values, nwords):
+    """``(len(values), nwords)`` uint64 matrix from a list of Python ints."""
+    nbytes = 8 * nwords
+    buf = b"".join(value.to_bytes(nbytes, "little") for value in values)
+    rows = np.frombuffer(buf, dtype="<u8").reshape(len(values), nwords)
+    return rows.astype(np.uint64, copy=False)
+
+
 def supports_graph(stg) -> bool:
-    """True when the uint64 kernels can hold this STG's packed codes."""
-    return len(stg.signals) <= MAX_KERNEL_SIGNALS
+    """True for every STG: multi-word code rows lifted the 64-signal limit.
+
+    Kept for call-site compatibility -- codes of any width now pack into
+    ``(states, code_words)`` matrices.
+    """
+    return True
 
 
 # ---------------------------------------------------------------------- #
@@ -110,7 +133,8 @@ def kernel_bfs(stg, pnet, graph, max_states=None, check_consistency=True, span=N
     ).reshape(ntrans, nwords)
 
     signal_index = graph.signal_table.index
-    bits = np.zeros(ntrans, dtype=np.uint64)
+    cwords = code_words(nsignals)
+    bits = np.zeros((ntrans, cwords), dtype=np.uint64)
     target_one = np.zeros(ntrans, dtype=bool)
     labelled = np.zeros(ntrans, dtype=bool)
     rising = np.zeros(ntrans, dtype=bool)
@@ -118,17 +142,17 @@ def kernel_bfs(stg, pnet, graph, max_states=None, check_consistency=True, span=N
         label = stg.label_of(name)
         if label is None:
             continue
-        bits[t] = np.uint64(1 << signal_index(label.signal))
+        bits[t] = _words_of(1 << signal_index(label.signal), cwords)
         target_one[t] = label.target_value == 1
         labelled[t] = True
         rising[t] = label.direction is Direction.PLUS
 
     capacity = 1024
     marks = np.zeros((capacity, nwords), dtype=np.uint64)
-    codes = np.zeros(capacity, dtype=np.uint64)
+    codes = np.zeros((capacity, cwords), dtype=np.uint64)
     marks[0] = _words_of(pnet.initial, nwords)
     initial_code = pack_code(stg.initial_code())
-    codes[0] = initial_code
+    codes[0] = _words_of(initial_code, cwords)
     graph._add_packed_state(pnet.initial, initial_code)
 
     packed_codes = graph.packed_codes
@@ -157,7 +181,7 @@ def kernel_bfs(stg, pnet, graph, max_states=None, check_consistency=True, span=N
         if check_consistency and src_loc.size:
             # An enabled labelled transition must see the source value:
             # violated exactly when the current bit already equals the target.
-            cur_one = (src_codes & bits[t_idx]) != 0
+            cur_one = (src_codes & bits[t_idx]).any(axis=1)
             bad = labelled[t_idx] & (cur_one == target_one[t_idx])
             if bad.any():
                 from ..stategraph.stategraph import _inconsistent_enabled
@@ -178,13 +202,13 @@ def kernel_bfs(stg, pnet, graph, max_states=None, check_consistency=True, span=N
         succ = remainder | t_post
         t_bits = bits[t_idx]
         succ_codes = np.where(
-            target_one[t_idx], src_codes | t_bits, src_codes & ~t_bits
+            target_one[t_idx, None], src_codes | t_bits, src_codes & ~t_bits
         )
 
         # Interning is the one per-candidate Python loop left: dict get /
         # insert per candidate, in reference discovery order.
         keys = _int_keys(succ)
-        code_list = succ_codes.tolist()
+        code_list = _int_keys(succ_codes)
         targets: List[int] = []
         new_positions: List[int] = []
         for pos, key in enumerate(keys):
@@ -216,7 +240,7 @@ def kernel_bfs(stg, pnet, graph, max_states=None, check_consistency=True, span=N
             new_marks = np.zeros((capacity, nwords), dtype=np.uint64)
             new_marks[:hi] = marks[:hi]
             marks = new_marks
-            new_codes = np.zeros(capacity, dtype=np.uint64)
+            new_codes = np.zeros((capacity, cwords), dtype=np.uint64)
             new_codes[:hi] = codes[:hi]
             codes = new_codes
         if new_positions:
@@ -241,15 +265,15 @@ def kernel_bfs(stg, pnet, graph, max_states=None, check_consistency=True, span=N
         tgt_all = np.zeros(0, dtype=np.uint32)
     graph._set_kernel_edges(src_all, t_all, tgt_all, transitions)
 
-    excited_plus = np.zeros(nstates, dtype=np.uint64)
-    excited_minus = np.zeros(nstates, dtype=np.uint64)
+    excited_plus = np.zeros((nstates, cwords), dtype=np.uint64)
+    excited_minus = np.zeros((nstates, cwords), dtype=np.uint64)
     edge_labelled = labelled[t_all]
     plus_edges = edge_labelled & rising[t_all]
     minus_edges = edge_labelled & ~rising[t_all]
     np.bitwise_or.at(excited_plus, src_all[plus_edges], bits[t_all[plus_edges]])
     np.bitwise_or.at(excited_minus, src_all[minus_edges], bits[t_all[minus_edges]])
-    graph._excited_plus = excited_plus.tolist()
-    graph._excited_minus = excited_minus.tolist()
+    graph._excited_plus = _int_keys(excited_plus)
+    graph._excited_minus = _int_keys(excited_minus)
     graph._kernel_codes = codes[:nstates].copy()
     graph._kernel_excited_plus = excited_plus
     graph._kernel_excited_minus = excited_minus
@@ -305,14 +329,15 @@ def kernel_incremental_bfs(
     ).reshape(ntrans, nwords)
 
     signal_index = graph.signal_table.index
-    bits = np.zeros(ntrans, dtype=np.uint64)
+    cwords = code_words(nsignals)
+    bits = np.zeros((ntrans, cwords), dtype=np.uint64)
     target_one = np.zeros(ntrans, dtype=bool)
     labelled = np.zeros(ntrans, dtype=bool)
     for t, name in enumerate(transitions):
         label = stg.label_of(name)
         if label is None:
             continue
-        bits[t] = np.uint64(1 << signal_index(label.signal))
+        bits[t] = _words_of(1 << signal_index(label.signal), cwords)
         target_one[t] = label.target_value == 1
         labelled[t] = True
 
@@ -329,10 +354,10 @@ def kernel_incremental_bfs(
     while capacity < count:
         capacity *= 2
     marks = np.zeros((capacity, nwords), dtype=np.uint64)
-    codes = np.zeros(capacity, dtype=np.uint64)
+    codes = np.zeros((capacity, cwords), dtype=np.uint64)
     for p, state in enumerate(seeds):
         marks[p] = _words_of(packed_markings[state], nwords)
-        codes[p] = packed_codes[state]
+        codes[p] = _words_of(packed_codes[state], cwords)
 
     live = span is not None and span.live
     wave_sizes = [count]
@@ -346,7 +371,7 @@ def kernel_incremental_bfs(
 
         src_codes = c[src_loc]
         if check_consistency and src_loc.size:
-            cur_one = (src_codes & bits[t_idx]) != 0
+            cur_one = (src_codes & bits[t_idx]).any(axis=1)
             bad = labelled[t_idx] & (cur_one == target_one[t_idx])
             if bad.any():
                 from ..stategraph.stategraph import _inconsistent_enabled
@@ -367,11 +392,11 @@ def kernel_incremental_bfs(
         succ = remainder | t_post
         t_bits = bits[t_idx]
         succ_codes = np.where(
-            target_one[t_idx], src_codes | t_bits, src_codes & ~t_bits
+            target_one[t_idx, None], src_codes | t_bits, src_codes & ~t_bits
         )
 
         keys = _int_keys(succ)
-        code_list = succ_codes.tolist()
+        code_list = _int_keys(succ_codes)
         src_list = (src_loc + lo + base).tolist()
         t_list = t_idx.tolist()
         new_positions: List[int] = []
@@ -399,7 +424,7 @@ def kernel_incremental_bfs(
             new_marks = np.zeros((capacity, nwords), dtype=np.uint64)
             new_marks[:hi] = marks[:hi]
             marks = new_marks
-            new_codes = np.zeros(capacity, dtype=np.uint64)
+            new_codes = np.zeros((capacity, cwords), dtype=np.uint64)
             new_codes[:hi] = codes[:hi]
             codes = new_codes
         if new_positions:
@@ -422,46 +447,65 @@ def kernel_incremental_bfs(
 # USC/CSC sweeps
 # ---------------------------------------------------------------------- #
 def graph_arrays(graph):
-    """``(codes, excited_plus, excited_minus)`` uint64 vectors of a graph.
+    """``(codes, excited_plus, excited_minus)`` uint64 matrices of a graph.
 
-    Kernel-built graphs carry them already; for reference-built graphs they
-    are converted from the packed Python-int lists once and cached.  The
-    cache is stamped with the graph's mutation version and rebuilt whenever
-    the graph mutated since capture -- incremental extension adds states
-    *and* edges (edges alone change the excitation masks without changing
-    the state count), so a length check is not a staleness check.
-    Returns ``None`` when the codes are too wide for uint64.
+    Each is a ``(states, code_words)`` matrix -- one row per state, codes of
+    any width.  Kernel-built graphs carry them already; for reference-built
+    graphs they are converted from the packed Python-int lists once and
+    cached.  The cache is stamped with the graph's mutation version and
+    rebuilt whenever the graph mutated since capture -- incremental
+    extension adds states *and* edges (edges alone change the excitation
+    masks without changing the state count), so a length check is not a
+    staleness check.
     """
-    if not supports_graph(graph.stg):
-        return None
     np = _require_numpy()
+    cwords = code_words(len(graph.signals))
     codes = getattr(graph, "_kernel_codes", None)
     if codes is None or getattr(graph, "_kernel_version", -1) != graph._version:
-        codes = np.array(graph.packed_codes, dtype=np.uint64)
+        codes = _pack_ints(np, graph.packed_codes, cwords)
         graph._kernel_codes = codes
-        graph._kernel_excited_plus = np.array(graph._excited_plus, dtype=np.uint64)
-        graph._kernel_excited_minus = np.array(graph._excited_minus, dtype=np.uint64)
+        graph._kernel_excited_plus = _pack_ints(np, graph._excited_plus, cwords)
+        graph._kernel_excited_minus = _pack_ints(np, graph._excited_minus, cwords)
         graph._kernel_version = graph._version
     return codes, graph._kernel_excited_plus, graph._kernel_excited_minus
 
 
-def coding_conflict_pairs(codes, signatures=None) -> List[Tuple[int, int]]:
-    """Sorted conflict pairs of a code vector, as the reference checkers emit.
+def _row_lexsort(np, rows):
+    """Stable row order of a ``(n, words)`` matrix, ascending as integers.
 
-    Without ``signatures`` every pair of states sharing a code conflicts
-    (USC); with a signature vector only same-code pairs whose signatures
-    differ do (CSC).  One ``argsort`` turns the all-pairs bucket join into
-    a scan over runs of equal codes; USC-clean specs never enter the
-    per-run loop at all.
+    ``lexsort`` takes its *last* key as primary, so the column tuple runs
+    low word to high word.
+    """
+    return np.lexsort(tuple(rows[:, w] for w in range(rows.shape[1])))
+
+
+def _row_int(row) -> int:
+    """One matrix row back into a Python int."""
+    value = 0
+    for w, word in enumerate(row.tolist()):
+        value |= word << (64 * w)
+    return value
+
+
+def coding_conflict_pairs(codes, signatures=None) -> List[Tuple[int, int]]:
+    """Sorted conflict pairs of a code matrix, as the reference checkers emit.
+
+    ``codes`` (and ``signatures``) are ``(states, code_words)`` row
+    matrices.  Without ``signatures`` every pair of states sharing a code
+    row conflicts (USC); with signature rows only same-code pairs whose
+    signatures differ do (CSC).  One ``lexsort`` turns the all-pairs bucket
+    join into a scan over runs of equal rows; USC-clean specs never enter
+    the per-run loop at all.
     """
     np = _require_numpy()
     n = len(codes)
     pairs: List[Tuple[int, int]] = []
     if n < 2:
         return pairs
-    order = np.argsort(codes, kind="stable")
+    order = _row_lexsort(np, codes)
     sorted_codes = codes[order]
-    boundary = np.nonzero(sorted_codes[1:] != sorted_codes[:-1])[0] + 1
+    differs = (sorted_codes[1:] != sorted_codes[:-1]).any(axis=1)
+    boundary = np.nonzero(differs)[0] + 1
     starts = np.concatenate((np.zeros(1, dtype=boundary.dtype), boundary))
     ends = np.concatenate((boundary, np.array([n], dtype=boundary.dtype)))
     multi = np.nonzero((ends - starts) >= 2)[0]
@@ -474,7 +518,7 @@ def coding_conflict_pairs(codes, signatures=None) -> List[Tuple[int, int]]:
             sig = signatures[states]
             if bool((sig == sig[0]).all()):
                 continue
-            keep = sig[ii] != sig[jj]
+            keep = (sig[ii] != sig[jj]).any(axis=1)
             ii, jj = ii[keep], jj[keep]
         pairs.extend(zip(states[ii].tolist(), states[jj].tolist()))
     pairs.sort()
@@ -493,14 +537,18 @@ def signature_groups_kernel(codes, signatures) -> Dict[int, List[Tuple[int, int]
     n = len(codes)
     if n == 0:
         return {}
-    order = np.lexsort((signatures, codes))
+    # Signature words are the secondary key, code words the primary --
+    # lexsort's last key wins, and within each key low word precedes high.
+    keys = tuple(signatures[:, w] for w in range(signatures.shape[1]))
+    keys += tuple(codes[:, w] for w in range(codes.shape[1]))
+    order = np.lexsort(keys)
     sorted_codes = codes[order]
     sorted_sigs = signatures[order]
     new_code = np.empty(n, dtype=bool)
     new_code[0] = True
-    new_code[1:] = sorted_codes[1:] != sorted_codes[:-1]
+    new_code[1:] = (sorted_codes[1:] != sorted_codes[:-1]).any(axis=1)
     new_pair = new_code.copy()
-    new_pair[1:] |= sorted_sigs[1:] != sorted_sigs[:-1]
+    new_pair[1:] |= (sorted_sigs[1:] != sorted_sigs[:-1]).any(axis=1)
     pair_starts = np.nonzero(new_pair)[0]
     run_of_pair = (np.cumsum(new_code) - 1)[pair_starts]
     pairs_per_run = np.bincount(run_of_pair)
@@ -511,7 +559,7 @@ def signature_groups_kernel(codes, signatures) -> Dict[int, List[Tuple[int, int]
     keep = np.isin(run_of_pair, conflicting)
     result: Dict[int, List[Tuple[int, int]]] = {}
     for s, e in zip(pair_starts[keep].tolist(), pair_ends[keep].tolist()):
-        result.setdefault(int(sorted_codes[s]), []).append(
-            (int(sorted_sigs[s]), e - s)
+        result.setdefault(_row_int(sorted_codes[s]), []).append(
+            (_row_int(sorted_sigs[s]), e - s)
         )
     return result

@@ -71,6 +71,14 @@ TRACKED_METRICS: List[TrackedMetric] = [
         ("csc_resolution_largest", "seconds"),
         "lower", 0.40),
     TrackedMetric(
+        "espresso_cubes_per_sec",
+        ("espresso_cubes_per_sec", "cubes_per_sec"),
+        "higher", 0.40),
+    TrackedMetric(
+        "csc_ranking_seconds",
+        ("csc_ranking_seconds", "seconds"),
+        "lower", 0.40),
+    TrackedMetric(
         "symbolic_reach_states_per_sec",
         ("symbolic_reachability_states_per_sec", "states_per_sec"),
         "higher", 0.50),

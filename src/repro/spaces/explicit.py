@@ -194,16 +194,17 @@ class ExplicitStateSpace(StateSpace):
         graph = self.graph
         implementable_mask = graph.signal_table.mask_of(self.stg.implementable_signals)
         if resolve_kernel(self.kernel) == "numpy":
-            from ..kernel import numpy_or_none
-            from ..kernel.bitset import graph_arrays, signature_groups_kernel
+            from ..kernel.bitset import (
+                graph_arrays,
+                packed_mask,
+                signature_groups_kernel,
+            )
 
             arrays = graph_arrays(graph)
             if arrays is not None:
-                np = numpy_or_none()
                 codes, excited_plus, excited_minus = arrays
-                signatures = (excited_plus | excited_minus) & np.uint64(
-                    implementable_mask
-                )
+                mask = packed_mask(implementable_mask, codes.shape[1])
+                signatures = (excited_plus | excited_minus) & mask
                 return signature_groups_kernel(codes, signatures)
         plus = graph._excited_plus
         minus = graph._excited_minus

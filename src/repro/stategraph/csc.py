@@ -135,12 +135,11 @@ def check_csc(graph: StateGraph, kernel: Optional[str] = None) -> CSCReport:
     implementable_mask = graph.signal_table.mask_of(graph.stg.implementable_signals)
     arrays = _kernel_arrays(graph, kernel)
     if arrays is not None:
-        from ..kernel import numpy_or_none
-        from ..kernel.bitset import coding_conflict_pairs
+        from ..kernel.bitset import coding_conflict_pairs, packed_mask
 
-        np = numpy_or_none()
         codes, excited_plus, excited_minus = arrays
-        signatures = (excited_plus | excited_minus) & np.uint64(implementable_mask)
+        mask = packed_mask(implementable_mask, codes.shape[1])
+        signatures = (excited_plus | excited_minus) & mask
         conflicts = coding_conflict_pairs(codes, signatures)
         return CSCReport(not conflicts, conflicts, "CSC")
     by_code: Dict[int, List[int]] = {}

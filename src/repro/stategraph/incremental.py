@@ -264,11 +264,7 @@ def _extend(
     # 4. Drain the dirty region with the ordinary packed BFS -- python
     #    loop or the numpy wave kernel, whichever the caller selected.
     # ------------------------------------------------------------------ #
-    use_kernel = False
-    if resolve_kernel(kernel) == "numpy":
-        from ..kernel.bitset import supports_graph
-
-        use_kernel = supports_graph(stg)
+    use_kernel = resolve_kernel(kernel) == "numpy"
     if use_kernel:
         from ..kernel.bitset import kernel_incremental_bfs
 

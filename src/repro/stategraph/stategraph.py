@@ -378,23 +378,21 @@ def build_state_graph(
     BFS over whole waves, ``"python"`` forces the reference loop, ``None`` /
     ``"auto"`` picks numpy when installed.  The numpy kernel produces a
     bit-identical graph (state numbering, edge order, excitation masks) and
-    quietly defers to the reference loop for specs it cannot hold (codes
-    wider than 64 signals, non-packable nets, ``packed=False``).
+    quietly defers to the reference loop for specs it cannot hold
+    (non-packable nets, ``packed=False``); codes of any width fit the
+    kernel's multi-word rows, so signal count is never a fallback reason.
     """
     if not stg.has_complete_initial_state():
         stg.infer_initial_state()
     use_kernel = resolve_kernel(kernel) == "numpy" and packed is not False
     with current_tracer().span("reachability", engine="explicit", stg=stg.name) as span:
         if use_kernel and PackedNet.is_packable(stg.net):
-            from ..kernel.bitset import supports_graph
-
-            if supports_graph(stg):
-                try:
-                    return _build_kernel(stg, max_states, check_consistency, span)
-                except UnsafeNetError:
-                    if packed is True:
-                        raise
-                    return _build_legacy(stg, max_states, check_consistency, span)
+            try:
+                return _build_kernel(stg, max_states, check_consistency, span)
+            except UnsafeNetError:
+                if packed is True:
+                    raise
+                return _build_legacy(stg, max_states, check_consistency, span)
         if packed is True:
             return _build_packed(stg, max_states, check_consistency, span)
         if packed is None and PackedNet.is_packable(stg.net):

@@ -150,15 +150,15 @@ def synthesize_from_sg(
             if dc is None:
                 dc = space.dc_cover()
             if architecture == "acg":
-                minimized = espresso(on_cover, dc).cover
+                minimized = espresso(on_cover, dc, kernel=kernel).cover
                 gate = Gate(signal, architecture, function=BooleanFunction(signals, minimized))
             else:
                 # For the set (reset) excitation function the quiescent region at
                 # 1 (0) is a don't care: the memory element holds the value there.
                 set_dc = dc.union(qr_high)
                 reset_dc = dc.union(qr_low)
-                set_cover = espresso(set_on, set_dc).cover
-                reset_cover = espresso(reset_on, reset_dc).cover
+                set_cover = espresso(set_on, set_dc, kernel=kernel).cover
+                reset_cover = espresso(reset_on, reset_dc, kernel=kernel).cover
                 gate = Gate(
                     signal,
                     architecture,

@@ -146,9 +146,11 @@ def synthesize(
     methods (ignored by the unfolding methods, which never build the SG).
     ``engine`` overrides the state-space backend implied by the SG method
     name (``"sg-explicit"`` + ``engine="bdd"`` runs symbolically); the
-    unfolding methods ignore it.  ``kernel`` selects the explicit engine's
-    BFS / coding-sweep backend (``"auto"``/``None``, ``"numpy"``,
-    ``"python"``).
+    unfolding methods ignore it.  ``kernel`` selects the vectorised backend
+    everywhere one exists (``"auto"``/``None``, ``"numpy"``, ``"python"``):
+    the explicit engine's BFS / coding sweeps, the espresso cover engine of
+    every method, and (explicit ``"numpy"`` only) the unfolder's co-set
+    joins.
 
     With ``resolve_encoding`` the specification's CSC conflicts are first
     resolved by inserting up to ``max_csc_signals`` internal state signals
@@ -168,7 +170,9 @@ def synthesize(
         if resolve_encoding:
             from ..encoding import resolve_csc
 
-            encoding = resolve_csc(stg, max_signals=max_csc_signals, max_states=max_states)
+            encoding = resolve_csc(
+                stg, max_signals=max_csc_signals, max_states=max_states, kernel=kernel
+            )
             if encoding.inserted:
                 stg = encoding.stg
             elif encoding.resolved:
@@ -197,7 +201,7 @@ def _dispatch(
 ) -> SynthesisResult:
     if method == "unfolding-approx":
         result = synthesize_approx_from_unfolding(
-            stg, architecture=architecture, raise_on_csc=raise_on_csc
+            stg, architecture=architecture, raise_on_csc=raise_on_csc, kernel=kernel
         )
         return SynthesisResult(
             method,
@@ -210,7 +214,7 @@ def _dispatch(
         )
     if method == "unfolding-exact":
         result = synthesize_exact_from_unfolding(
-            stg, architecture=architecture, raise_on_csc=raise_on_csc
+            stg, architecture=architecture, raise_on_csc=raise_on_csc, kernel=kernel
         )
         return SynthesisResult(
             method,

@@ -407,13 +407,16 @@ def synthesize_approx_from_unfolding(
     architecture: str = "acg",
     raise_on_csc: bool = False,
     max_refinement_rounds: int = 50,
+    kernel: Optional[str] = None,
 ) -> ApproxUnfoldingSynthesisResult:
     """Synthesise every implementable signal with the approximate method.
 
     This is the flow the paper's PUNT-ACG column measures: unfolding
     construction (``unfold_time``), cover approximation + refinement
     (``cover_time``, the paper's "SynTim") and two-level minimisation
-    (``minimize_time``, the paper's "EspTim").
+    (``minimize_time``, the paper's "EspTim").  ``kernel`` selects the
+    cover-engine backend for the espresso runs (and the unfolder's co-set
+    joins when the segment is built here).
     """
     if architecture != "acg":
         raise ValueError(
@@ -422,7 +425,7 @@ def synthesize_approx_from_unfolding(
         )
     t0 = time.perf_counter()
     if segment is None:
-        segment = unfold(stg)
+        segment = unfold(stg, kernel=kernel)
     unfold_time = time.perf_counter() - t0
 
     signals = stg.signals
@@ -449,7 +452,7 @@ def synthesize_approx_from_unfolding(
         off_cover = covers.off_cover
         # Expansion is blocked by the off-set approximation directly; the
         # (implicit) DC-set is everything outside the two approximations.
-        minimized = espresso(on_cover, off=off_cover).cover
+        minimized = espresso(on_cover, off=off_cover, kernel=kernel).cover
         minimize_time += time.perf_counter() - t2
         implementation.add_gate(
             Gate(signal, architecture, function=BooleanFunction(signals, minimized))

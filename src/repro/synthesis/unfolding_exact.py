@@ -98,16 +98,19 @@ def synthesize_exact_from_unfolding(
     segment: Optional[UnfoldingSegment] = None,
     architecture: str = "acg",
     raise_on_csc: bool = False,
+    kernel: Optional[str] = None,
 ) -> ExactUnfoldingSynthesisResult:
     """Synthesise every implementable signal by exact state recovery.
 
     ``segment`` may be passed in when the caller already unfolded the STG
     (e.g. because it was verified first); otherwise it is built here and its
-    construction time is reported as ``unfold_time``.
+    construction time is reported as ``unfold_time``.  ``kernel`` selects
+    the cover-engine backend for the espresso runs (and the unfolder's
+    co-set joins when the segment is built here).
     """
     t0 = time.perf_counter()
     if segment is None:
-        segment = unfold(stg)
+        segment = unfold(stg, kernel=kernel)
     unfold_time = time.perf_counter() - t0
 
     t1 = time.perf_counter()
@@ -133,7 +136,7 @@ def synthesize_exact_from_unfolding(
             implementation.csc_conflicts.append(signal)
             continue
         if architecture == "acg":
-            minimized = espresso(on_cover, off=off_cover).cover
+            minimized = espresso(on_cover, off=off_cover, kernel=kernel).cover
             gate = Gate(signal, architecture, function=BooleanFunction(signals, minimized))
         else:
             if dc is None:
@@ -144,8 +147,12 @@ def synthesize_exact_from_unfolding(
             gate = Gate(
                 signal,
                 architecture,
-                set_function=BooleanFunction(signals, espresso(set_on, set_dc).cover),
-                reset_function=BooleanFunction(signals, espresso(reset_on, reset_dc).cover),
+                set_function=BooleanFunction(
+                    signals, espresso(set_on, set_dc, kernel=kernel).cover
+                ),
+                reset_function=BooleanFunction(
+                    signals, espresso(reset_on, reset_dc, kernel=kernel).cover
+                ),
             )
         implementation.add_gate(gate)
     minimize_time = time.perf_counter() - t2

@@ -152,13 +152,15 @@ def test_kernel_falls_back_on_unpackable_request():
 def test_kernel_arrays_cached_and_consistent():
     from repro.kernel.bitset import graph_arrays
 
+    from repro.kernel.bitset import _int_keys
+
     graph = build_state_graph(muller_pipeline(4), kernel="numpy")
     first = graph_arrays(graph)
     assert first is not None
     codes, plus, minus = first
-    assert codes.shape == (graph.num_states,)
-    assert [int(c) for c in codes] == list(graph.packed_codes)
-    assert [int(p) for p in plus] == list(graph._excited_plus)
-    assert [int(m) for m in minus] == list(graph._excited_minus)
+    assert codes.shape == (graph.num_states, 1)  # one uint64 word per code row
+    assert _int_keys(codes) == list(graph.packed_codes)
+    assert _int_keys(plus) == list(graph._excited_plus)
+    assert _int_keys(minus) == list(graph._excited_minus)
     again = graph_arrays(graph)
     assert again[0] is first[0]  # cached, not rebuilt
